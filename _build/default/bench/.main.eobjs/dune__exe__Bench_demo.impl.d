@@ -1,0 +1,1 @@
+bench/bench_demo.ml: Block Block_store High_qc List Marlin_core Marlin_types Message Operation Printf Test_support

@@ -1,0 +1,1 @@
+bench/bench_micro.ml: Analyze Batch Bechamel Benchmark Block Hashtbl High_qc Instance List Marlin_crypto Marlin_sim Marlin_types Measure Message Operation Printf Qc Staged String Test Time Toolkit

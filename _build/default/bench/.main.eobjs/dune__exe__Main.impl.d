@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_demo Bench_micro Block Float List Marlin_analysis Marlin_core Marlin_crypto Marlin_runtime Marlin_sim Marlin_types Message Printf Qc String Sys Unix

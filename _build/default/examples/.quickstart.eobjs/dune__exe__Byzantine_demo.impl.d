@@ -1,0 +1,1 @@
+examples/byzantine_demo.ml: Block Block_store High_qc List Marlin_core Marlin_types Message Operation Printf Test_support

@@ -1,0 +1,1 @@
+examples/kv_bank.ml: Array Filename List Marlin_core Marlin_store Marlin_types Operation Printf String Sys Test_support Unix

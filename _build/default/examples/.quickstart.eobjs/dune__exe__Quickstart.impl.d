@@ -1,0 +1,1 @@
+examples/quickstart.ml: Marlin_analysis Marlin_core Marlin_runtime Marlin_types Printf

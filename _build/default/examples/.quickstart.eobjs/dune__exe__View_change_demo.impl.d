@@ -1,0 +1,1 @@
+examples/view_change_demo.ml: Marlin_core Marlin_runtime Marlin_sim Marlin_types Message Printf

@@ -1,0 +1,1 @@
+lib/analysis/complexity.ml: Float Marlin_crypto

@@ -1,0 +1,1 @@
+lib/analysis/complexity.mli: Marlin_crypto

@@ -1,0 +1,41 @@
+(** Table I of the paper: view-change costs of HotStuff and its two-phase
+    descendants, as closed-form expressions.
+
+    The table compares, for a single view change:
+    - communication (bits transmitted by all replicas),
+    - cryptographic operations (non-pairing vs pairing, per instantiation),
+    - authenticator complexity,
+    - number of phases.
+
+    [evaluate] instantiates the asymptotic expressions with unit constants
+    so the {e growth} in n can be tabulated and cross-checked against the
+    bytes the simulator actually puts on the wire for Marlin and HotStuff
+    (they are the two protocols implemented here; Fast-HotStuff, Jolteon
+    and Wendy appear analytically, as in the paper). *)
+
+type protocol = Hotstuff | Fast_hotstuff | Jolteon | Wendy | Marlin
+
+val all : protocol list
+val name : protocol -> string
+
+type costs = {
+  communication_bits : float;
+  nonpairing_ops : float;
+  pairing_ops : float;
+  authenticators : float;
+  phases : string;  (** "3", "2", or "2 or 3" *)
+}
+
+val evaluate : protocol -> n:int -> u:int -> c:int -> lambda:int -> costs
+(** [n] replicas, [u] view-number bound, [c] Wendy's view-number
+    difference, [lambda] security parameter in bits. *)
+
+val formulas : protocol -> string * string * string
+(** (communication, crypto operations, authenticators) — the table's
+    symbolic entries. *)
+
+val vc_phases : protocol -> string
+val crypto_vc_seconds : protocol -> n:int -> cost:Marlin_crypto.Cost_model.t -> float
+(** Estimated CPU seconds of view-change cryptography under a signature
+    scheme — the quantity behind the paper's observation that Wendy's
+    pairings can make its view change slower than HotStuff's. *)

@@ -1,0 +1,54 @@
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] | [ _ ] -> 0.
+  | xs ->
+      let m = mean xs in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs
+        /. float_of_int (List.length xs - 1)
+      in
+      sqrt var
+
+let percentile xs ~p =
+  match xs with
+  | [] -> 0.
+  | xs ->
+      let sorted = List.sort Float.compare xs in
+      let n = List.length sorted in
+      let rank =
+        int_of_float (ceil (p /. 100. *. float_of_int n)) - 1
+        |> max 0 |> min (n - 1)
+      in
+      List.nth sorted rank
+
+let median xs = percentile xs ~p:50.
+let minimum = function [] -> 0. | xs -> List.fold_left Float.min infinity xs
+let maximum = function [] -> 0. | xs -> List.fold_left Float.max neg_infinity xs
+
+type summary = {
+  count : int;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  min : float;
+  max : float;
+}
+
+let summarize xs =
+  {
+    count = List.length xs;
+    mean = mean xs;
+    p50 = median xs;
+    p95 = percentile xs ~p:95.;
+    p99 = percentile xs ~p:99.;
+    min = minimum xs;
+    max = maximum xs;
+  }
+
+let pp_summary fmt s =
+  Format.fprintf fmt "n=%d mean=%.4f p50=%.4f p95=%.4f p99=%.4f min=%.4f max=%.4f"
+    s.count s.mean s.p50 s.p95 s.p99 s.min s.max

@@ -1,0 +1,25 @@
+(** Small descriptive-statistics helpers for experiment results. *)
+
+val mean : float list -> float
+(** 0. on the empty list. *)
+
+val stddev : float list -> float
+val percentile : float list -> p:float -> float
+(** Nearest-rank percentile, [p] in [0, 100]. 0. on the empty list. *)
+
+val median : float list -> float
+val minimum : float list -> float
+val maximum : float list -> float
+
+type summary = {
+  count : int;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  min : float;
+  max : float;
+}
+
+val summarize : float list -> summary
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,1 @@
+lib/core/auth.ml: Cpu_meter Hashtbl List Marlin_crypto Marlin_types Qc

@@ -1,0 +1,1 @@
+lib/core/auth.mli: Cpu_meter Marlin_crypto Marlin_types Qc

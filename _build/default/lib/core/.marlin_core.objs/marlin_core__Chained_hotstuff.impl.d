@@ -1,0 +1,1 @@
+lib/core/chained_hotstuff.ml: Hotstuff_impl

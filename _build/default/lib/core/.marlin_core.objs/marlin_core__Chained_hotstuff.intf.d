@@ -1,0 +1,1 @@
+lib/core/chained_hotstuff.mli: Consensus_intf Marlin_types

@@ -1,0 +1,1 @@
+lib/core/chained_marlin.ml: Marlin_impl

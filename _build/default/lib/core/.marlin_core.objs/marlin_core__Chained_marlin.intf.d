@@ -1,0 +1,1 @@
+lib/core/chained_marlin.mli: Consensus_intf Marlin_types

@@ -1,0 +1,1 @@
+lib/core/committer.ml: Block Block_store Consensus_intf List Marlin_crypto Marlin_types Message Qc

@@ -1,0 +1,1 @@
+lib/core/committer.mli: Block Block_store Consensus_intf Marlin_crypto Marlin_types Qc

@@ -1,0 +1,1 @@
+lib/core/consensus_intf.ml: Batch Block Block_store Cpu_meter Format High_qc List Marlin_crypto Marlin_types Message Qc

@@ -1,0 +1,1 @@
+lib/core/cpu_meter.ml: Cost_model Marlin_crypto

@@ -1,0 +1,1 @@
+lib/core/cpu_meter.mli: Marlin_crypto

@@ -1,0 +1,1 @@
+lib/core/hotstuff.ml: Hotstuff_impl

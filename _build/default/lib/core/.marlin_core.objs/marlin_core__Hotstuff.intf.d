@@ -1,0 +1,1 @@
+lib/core/hotstuff.mli: Consensus_intf Marlin_types

@@ -1,0 +1,1 @@
+lib/core/hotstuff_impl.ml: Auth Batch Block Block_store Committer Consensus_intf Cpu_meter Hashtbl High_qc List Marlin_crypto Marlin_types Message Option Pacemaker Printf Qc Rank Vote_collector

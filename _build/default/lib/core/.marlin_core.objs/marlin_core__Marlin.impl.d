@@ -1,0 +1,1 @@
+lib/core/marlin.ml: Marlin_impl

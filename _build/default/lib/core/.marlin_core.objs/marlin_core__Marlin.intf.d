@@ -1,0 +1,1 @@
+lib/core/marlin.mli: Consensus_intf Marlin_types

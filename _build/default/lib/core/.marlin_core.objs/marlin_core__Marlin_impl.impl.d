@@ -1,0 +1,1 @@
+lib/core/marlin_impl.ml: Auth Batch Block Block_store Bool Committer Consensus_intf Cpu_meter Hashtbl High_qc List Logs Marlin_crypto Marlin_types Message Option Pacemaker Qc Rank Vote_collector

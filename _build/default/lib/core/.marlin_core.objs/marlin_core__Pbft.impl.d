@@ -1,0 +1,1 @@
+lib/core/pbft.ml: Auth Batch Block Block_store Committer Consensus_intf Cpu_meter Hashtbl High_qc List Marlin_crypto Marlin_types Message Option Pacemaker Qc Rank String Vote_collector

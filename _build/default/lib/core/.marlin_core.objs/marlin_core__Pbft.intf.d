@@ -1,0 +1,1 @@
+lib/core/pbft.mli: Consensus_intf Marlin_types

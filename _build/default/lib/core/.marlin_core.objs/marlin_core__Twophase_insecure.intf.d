@@ -1,0 +1,1 @@
+lib/core/twophase_insecure.mli: Consensus_intf

@@ -1,0 +1,1 @@
+lib/core/vote_collector.ml: Auth Hashtbl List Marlin_crypto Marlin_types Qc

@@ -1,0 +1,1 @@
+lib/core/vote_collector.mli: Auth Marlin_crypto Marlin_types Qc

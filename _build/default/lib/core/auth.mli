@@ -1,0 +1,31 @@
+(** Metered cryptographic operations for consensus code.
+
+    Thin wrappers over [Qc]'s vote/combine/verify that also charge the
+    {!Cpu_meter} — using these (and only these) from protocol code keeps
+    the simulated CPU accounting honest. Verified QCs are cached by tag so
+    re-verifying a certificate a replica has already checked is free, as in
+    a real implementation. *)
+
+open Marlin_types
+
+type t
+
+val create :
+  keychain:Marlin_crypto.Keychain.t -> meter:Cpu_meter.t -> quorum:int -> t
+
+val quorum : t -> int
+val meter : t -> Cpu_meter.t
+
+val sign_vote :
+  t -> signer:int -> phase:Qc.phase -> view:int -> Qc.block_ref ->
+  Marlin_crypto.Threshold.partial
+
+val verify_vote :
+  t -> phase:Qc.phase -> view:int -> Qc.block_ref ->
+  Marlin_crypto.Threshold.partial -> bool
+
+val combine :
+  t -> phase:Qc.phase -> view:int -> Qc.block_ref ->
+  Marlin_crypto.Threshold.partial list -> (Qc.t, string) result
+
+val verify_qc : t -> Qc.t -> bool

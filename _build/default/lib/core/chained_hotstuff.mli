@@ -1,0 +1,7 @@
+(** Chained (pipelined) HotStuff: one generic voting round per block, lock
+    on two-chain, commit on a three-chain of same-view direct-parent
+    prepareQCs — the baseline mode the paper's evaluation runs. *)
+
+include Consensus_intf.PROTOCOL
+
+val prepare_qc : t -> Marlin_types.Qc.t

@@ -1,0 +1,4 @@
+include Marlin_impl.Make (struct
+  let name = "chained-marlin"
+  let chained = true
+end)

@@ -1,0 +1,14 @@
+(** Chained (pipelined) Marlin — the mode the paper's evaluation runs.
+
+    One voting round per block: each proposal's justify carries the
+    prepareQC for its parent, the leader proposes the next block the
+    moment a QC forms, and a block commits on a two-chain (a same-view
+    prepareQC for a direct child). View changes are exactly {!Marlin}'s —
+    happy path or the pre-prepare phase with virtual/shadow blocks; per
+    the paper, no new block is proposed in the prepare step right after an
+    unhappy pre-prepare. *)
+
+include Consensus_intf.PROTOCOL
+
+val last_voted : t -> Marlin_types.Block.t
+val view_change_in_progress : t -> bool

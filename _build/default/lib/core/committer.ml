@@ -1,0 +1,117 @@
+open Marlin_types
+module Sha256 = Marlin_crypto.Sha256
+module C = Consensus_intf
+
+type t = {
+  cfg : C.config;
+  store : Block_store.t;
+  mutable pending : Qc.t option;
+  mutable committed : int;
+}
+
+type result = { committed : Block.t list; sends : C.action list }
+
+let nothing = { committed = []; sends = [] }
+
+let create cfg store = { cfg; store; pending = None; committed = 0 }
+
+let committed_count (t : t) = t.committed
+let store (t : t) = t.store
+
+type branch_gap = Gap_missing of Sha256.t | Gap_unresolved_virtual | Gap_none
+
+(* The first gap on the branch from [b] down to the committed head: a body
+   we can fetch, or an unresolved virtual parent we must wait out. *)
+let first_branch_gap t (b : Block.t) =
+  let head_height = (Block_store.last_committed t.store).Block.height in
+  let rec go b =
+    if b.Block.height <= head_height then Gap_none
+    else
+      match b.Block.pl with
+      | Block.Root -> Gap_none
+      | Block.Hash d -> (
+          match Block_store.find t.store d with
+          | Some parent -> go parent
+          | None -> Gap_missing d)
+      | Block.Nil -> (
+          match Block_store.parent t.store b with
+          | Some parent -> go parent
+          | None -> Gap_unresolved_virtual)
+  in
+  go b
+
+(* Fetches are re-issued on every delivery attempt for a still-missing
+   body — a lost request or response must not wedge the replica, and the
+   attempt rate is bounded by incoming certificates. *)
+let fetch t ~view ~from digest =
+  if from = t.cfg.C.id then []
+  else
+    [
+      C.Send
+        {
+          dst = from;
+          msg = Message.make ~sender:t.cfg.C.id ~view (Message.Fetch { digest });
+        };
+    ]
+
+let rec deliver t ~view (qc : Qc.t) =
+  (* Fetch from the certificate's leader, or any signer when we are it. *)
+  let source =
+    let l = C.leader_of t.cfg qc.Qc.view in
+    if l <> t.cfg.C.id then l
+    else
+      match
+        List.find_opt
+          (fun s -> s <> t.cfg.C.id)
+          qc.Qc.tsig.Marlin_crypto.Threshold.signers
+      with
+      | Some s -> s
+      | None -> l
+  in
+  match Block_store.find t.store qc.Qc.block.Qc.digest with
+  | None ->
+      t.pending <- Some qc;
+      { nothing with sends = fetch t ~view ~from:source qc.Qc.block.Qc.digest }
+  | Some b -> (
+      match Block_store.commit t.store b with
+      | Ok [] ->
+          if t.pending = Some qc then t.pending <- None;
+          nothing
+      | Ok blocks ->
+          if t.pending = Some qc then t.pending <- None;
+          t.committed <- t.committed + List.length blocks;
+          { nothing with committed = blocks }
+      | Error e -> (
+          match first_branch_gap t b with
+          | Gap_missing missing ->
+              t.pending <- Some qc;
+              { nothing with sends = fetch t ~view ~from:source missing }
+          | Gap_unresolved_virtual ->
+              t.pending <- Some qc;
+              nothing
+          | Gap_none ->
+              (* A commit certificate conflicting with the committed chain
+                 can only mean agreement broke; fail fast so tests and
+                 operators see it. *)
+              failwith ("SAFETY VIOLATION: " ^ e)))
+
+and retry t =
+  match t.pending with None -> nothing | Some qc -> deliver t ~view:qc.Qc.view qc
+
+let note_block t b =
+  Block_store.add t.store b;
+  match t.pending with
+  | Some qc when Block_store.mem t.store qc.Qc.block.Qc.digest -> retry t
+  | Some _ | None -> nothing
+
+let handle_fetch t ~sender ~view digest =
+  match Block_store.find t.store digest with
+  | Some block ->
+      [
+        C.Send
+          {
+            dst = sender;
+            msg = Message.make ~sender:t.cfg.C.id ~view (Message.Fetch_resp { block });
+          };
+      ]
+  | None -> []

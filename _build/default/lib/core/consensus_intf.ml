@@ -1,0 +1,74 @@
+(** The interface every consensus protocol in this repository implements.
+
+    Protocols are deterministic state machines: the runtime (or a test)
+    feeds them messages and timer expirations, and they return a list of
+    {!action}s. All I/O — networking, timers, persistence, client replies —
+    happens outside, which is what makes the protocols testable against
+    hand-built adversarial schedules and pluggable into the simulator. *)
+
+open Marlin_types
+
+type config = {
+  id : int;  (** this replica's index, [0 .. n-1] *)
+  n : int;
+  f : int;  (** tolerated Byzantine faults; [n >= 3f + 1] *)
+  keychain : Marlin_crypto.Keychain.t;
+  cost : Marlin_crypto.Cost_model.t;
+  get_batch : unit -> Batch.t;
+      (** pull the next batch of client operations (may be empty) *)
+  has_pending : unit -> bool;
+      (** are client operations waiting? drives the "should the view timer
+          escalate to a view change" decision *)
+  base_timeout : float;  (** initial view-timer duration, seconds *)
+  max_timeout : float;  (** backoff cap *)
+}
+
+let quorum cfg = cfg.n - cfg.f
+
+(** Round-robin leader schedule. *)
+let leader_of cfg view = view mod cfg.n
+
+type action =
+  | Send of { dst : int; msg : Message.t }
+  | Broadcast of Message.t
+      (** to every {e other} replica — protocols process their own copy
+          internally before returning, so the runtime must not echo
+          broadcasts back to the sender *)
+  | Commit of Block.t list  (** newly committed blocks, oldest first *)
+  | Timer of float  (** (re)arm the view timer for this many seconds *)
+
+module type PROTOCOL = sig
+  type t
+
+  val name : string
+  val create : config -> t
+  val on_start : t -> action list
+  (** Called once at time zero. *)
+
+  val on_message : t -> Message.t -> action list
+  val on_view_timeout : t -> action list
+  val force_view_change : t -> action list
+  (** Advance to the next view unconditionally — the rotating-leader mode
+      of the paper's Section VI (Spinning-style periodic rotation). *)
+
+  val on_new_payload : t -> action list
+  (** The mempool went non-empty; an idle leader may propose. *)
+
+  (* Introspection, used by tests, invariant checkers and experiments. *)
+  val current_view : t -> int
+  val is_leader : t -> bool
+  val committed_head : t -> Block.t
+  val committed_count : t -> int
+  val block_store : t -> Block_store.t
+  val locked_qc : t -> Qc.t
+  val high_qc : t -> High_qc.t
+  val cpu_meter : t -> Cpu_meter.t
+end
+
+type protocol = (module PROTOCOL)
+
+let pp_action fmt = function
+  | Send { dst; msg } -> Format.fprintf fmt "send[->%d] %a" dst Message.pp msg
+  | Broadcast msg -> Format.fprintf fmt "broadcast %a" Message.pp msg
+  | Commit blocks -> Format.fprintf fmt "commit %d block(s)" (List.length blocks)
+  | Timer d -> Format.fprintf fmt "timer %.3fs" d

@@ -1,0 +1,4 @@
+include Hotstuff_impl.Make (struct
+  let name = "hotstuff"
+  let chained = false
+end)

@@ -1,0 +1,20 @@
+(** Marlin (Sui, Duan, Zhang — DSN 2022): two-phase BFT with linearity.
+
+    This is the paper's Section V protocol, non-pipelined: blocks commit in
+    two voting phases (PREPARE, COMMIT); view changes take two phases on
+    the happy path (all VIEW-CHANGE messages agree on the last voted block,
+    so their partial signatures combine directly into a prepareQC) and
+    three otherwise (a PRE-PREPARE phase in which replicas vote to
+    establish the highest QC, with the leader proposing a normal and a
+    {e virtual} shadow block when it cannot tell whether its view-change
+    snapshot is safe).
+
+    See {!Chained_marlin} for the pipelined variant used in the throughput
+    benchmarks. *)
+
+include Consensus_intf.PROTOCOL
+
+(** Extra introspection used by protocol-level tests. *)
+
+val last_voted : t -> Marlin_types.Block.t
+val view_change_in_progress : t -> bool

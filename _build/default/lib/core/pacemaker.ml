@@ -1,0 +1,10 @@
+type t = { base : float; max : float; mutable failures : int }
+
+let create ~base ~max = { base; max; failures = 0 }
+
+let current_timeout t =
+  Float.min t.max (t.base *. (2. ** float_of_int (min t.failures 20)))
+
+let note_progress t = t.failures <- 0
+let note_view_change t = t.failures <- t.failures + 1
+let consecutive_failures t = t.failures

@@ -1,0 +1,327 @@
+open Marlin_types
+module Sha256 = Marlin_crypto.Sha256
+module C = Consensus_intf
+
+let name = "pbft"
+
+(* How many slots may be in flight at once (PBFT's high/low watermarks). *)
+let window = 4
+
+type t = {
+  cfg : C.config;
+  auth : Auth.t;
+  store : Block_store.t;
+  com : Committer.t;
+  votes : Vote_collector.t;  (* prepare votes, keyed per slot *)
+  commit_votes : Vote_collector.t;
+  pacemaker : Pacemaker.t;
+  mutable cview : int;
+  mutable prepared : Qc.t;  (* highest prepared certificate *)
+  mutable proposed_tip : Qc.block_ref;  (* leader: last slot proposed *)
+  mutable anchor : Qc.block_ref option;
+      (* the block this view's chain must build on: block(justify) of the
+         accepted NEW-VIEW (genesis in view 0); None until the NEW-VIEW
+         arrives — proposals are not accepted without it *)
+  mutable accepted : (int * int, string) Hashtbl.t;
+      (* (view, height) -> digest: at most one pre-prepare per slot *)
+  mutable commit_voted : (string, unit) Hashtbl.t;
+  mutable collecting_vc : bool;
+  vc_msgs : (int, (int * Qc.t) list) Hashtbl.t;  (* view -> (sender, prepared qc) *)
+  stash : (string, Block.t list) Hashtbl.t;
+      (* pre-prepares that arrived before their parent (pipelining +
+         network jitter reorder bursts), keyed by the missing parent *)
+}
+
+let create cfg =
+  let meter = Cpu_meter.create cfg.C.cost in
+  let auth = Auth.create ~keychain:cfg.C.keychain ~meter ~quorum:(C.quorum cfg) in
+  let store = Block_store.create () in
+  {
+    cfg;
+    auth;
+    store;
+    com = Committer.create cfg store;
+    votes = Vote_collector.create auth;
+    commit_votes = Vote_collector.create auth;
+    pacemaker = Pacemaker.create ~base:cfg.C.base_timeout ~max:cfg.C.max_timeout;
+    cview = 0;
+    prepared = Qc.genesis;
+    proposed_tip = Qc.genesis_ref;
+    anchor = Some Qc.genesis_ref;
+    accepted = Hashtbl.create 32;
+    commit_voted = Hashtbl.create 32;
+    collecting_vc = false;
+    vc_msgs = Hashtbl.create 4;
+    stash = Hashtbl.create 8;
+  }
+
+(* ---------- introspection ---------- *)
+
+let current_view t = t.cview
+let is_leader t = C.leader_of t.cfg t.cview = t.cfg.C.id
+let committed_head t = Block_store.last_committed t.store
+let committed_count t = Committer.committed_count t.com
+let block_store t = t.store
+let locked_qc t = t.prepared
+let high_qc t = High_qc.Single t.prepared
+let cpu_meter t = Auth.meter t.auth
+let prepared_qc t = t.prepared
+
+(* ---------- helpers ---------- *)
+
+let me t = t.cfg.C.id
+let leader_of t view = C.leader_of t.cfg view
+let msg t payload = Message.make ~sender:(me t) ~view:t.cview payload
+
+let finish_commits t (r : Committer.result) =
+  if r.Committer.committed = [] then r.Committer.sends
+  else begin
+    Pacemaker.note_progress t.pacemaker;
+    C.Commit r.Committer.committed
+    :: C.Timer (Pacemaker.current_timeout t.pacemaker)
+    :: r.Committer.sends
+  end
+
+let note_block t b = finish_commits t (Committer.note_block t.com b)
+let deliver_commit t qc = finish_commits t (Committer.deliver t.com ~view:t.cview qc)
+
+(* ---------- normal case ---------- *)
+
+(* PBFT pipelines: the leader keeps up to [window] slots in flight,
+   proposing the next block as soon as it has operations for it. *)
+let rec try_propose t =
+  if (not (is_leader t)) || t.collecting_vc then []
+  else if t.proposed_tip.Qc.height - (committed_head t).Block.height >= window
+  then []
+  else begin
+    let payload = t.cfg.C.get_batch () in
+    if Batch.is_empty payload then []
+    else begin
+      let b =
+        Block.make_child_of_ref ~parent:t.proposed_tip ~view:t.cview ~payload
+          ~justify:(Block.J_qc t.prepared)
+      in
+      t.proposed_tip <- Block.to_ref b;
+      ignore (note_block t b);
+      C.Broadcast (msg t (Message.Propose { block = b; justify = High_qc.Single t.prepared }))
+      :: try_propose t
+    end
+  end
+
+let broadcast_vote t ~kind (block : Qc.block_ref) =
+  let partial = Auth.sign_vote t.auth ~signer:(me t) ~phase:kind ~view:t.cview block in
+  C.Broadcast (msg t (Message.Vote { kind; block; partial; locked = None }))
+
+(* Replica accepts a pre-prepare: at most one per (view, slot), and the
+   view's chain must be rooted at the NEW-VIEW anchor — either the block
+   links directly to the anchor, or its parent is the slot accepted just
+   below it. A proposal whose parent has not arrived yet (pipelining plus
+   network jitter reorder bursts) is stashed and replayed once it does. *)
+let rec accept_pre_prepare t (block : Block.t) =
+  let slot = (t.cview, block.Block.height) in
+  if Hashtbl.mem t.accepted slot then []
+  else if block.Block.view <> t.cview then []
+  else begin
+    match (block.Block.pl, t.anchor) with
+    | (Block.Root | Block.Nil), _ | _, None -> []
+    | Block.Hash parent_digest, Some anchor ->
+        let links_to_anchor =
+          block.Block.height = anchor.Qc.height + 1
+          && Sha256.equal parent_digest anchor.Qc.digest
+        in
+        let links_to_previous_slot =
+          match Hashtbl.find_opt t.accepted (t.cview, block.Block.height - 1) with
+          | Some d -> String.equal d (Sha256.to_raw parent_digest)
+          | None -> false
+        in
+        if links_to_anchor || links_to_previous_slot then begin
+          Hashtbl.replace t.accepted slot (Sha256.to_raw (Block.digest block));
+          let adds = note_block t block in
+          let vote = broadcast_vote t ~kind:Qc.Prepare (Block.to_ref block) in
+          let key = Sha256.to_raw (Block.digest block) in
+          let stashed = Option.value ~default:[] (Hashtbl.find_opt t.stash key) in
+          Hashtbl.remove t.stash key;
+          adds @ (vote :: List.concat_map (accept_pre_prepare t) stashed)
+        end
+        else if block.Block.height > anchor.Qc.height + 1 then begin
+          (* plausibly a reordered burst: wait for the parent *)
+          let key = Sha256.to_raw parent_digest in
+          Hashtbl.replace t.stash key
+            (block :: Option.value ~default:[] (Hashtbl.find_opt t.stash key));
+          []
+        end
+        else []
+  end
+
+(* Every replica collects the all-to-all votes itself. *)
+let on_prepare_vote t (block : Qc.block_ref) partial =
+  match Vote_collector.add t.votes ~phase:Qc.Prepare ~view:t.cview ~block partial with
+  | Vote_collector.Quorum qc ->
+      (* prepared: remember the certificate, vote to commit *)
+      if Rank.qc_gt qc t.prepared then t.prepared <- qc;
+      let key = Sha256.to_raw block.Qc.digest in
+      if Hashtbl.mem t.commit_voted key then []
+      else begin
+        Hashtbl.replace t.commit_voted key ();
+        [ broadcast_vote t ~kind:Qc.Commit block ]
+      end
+  | Vote_collector.Counted _ | Vote_collector.Rejected _ -> []
+
+let on_commit_vote t (block : Qc.block_ref) partial =
+  match
+    Vote_collector.add t.commit_votes ~phase:Qc.Commit ~view:t.cview ~block partial
+  with
+  | Vote_collector.Quorum qc ->
+      let commits = deliver_commit t qc in
+      commits @ try_propose t
+  | Vote_collector.Counted _ | Vote_collector.Rejected _ -> []
+
+(* ---------- view change (broadcast, quadratic) ---------- *)
+
+let maybe_finish_vc t =
+  if is_leader t && t.collecting_vc then
+    match Hashtbl.find_opt t.vc_msgs t.cview with
+    | Some entries when List.length entries >= C.quorum t.cfg ->
+        let proof = List.map snd entries in
+        let high = List.fold_left Rank.max_qc t.prepared proof in
+        t.prepared <- high;
+        t.collecting_vc <- false;
+        (* the new view's chain is anchored on the chosen certificate *)
+        t.anchor <- Some high.Qc.block;
+        t.proposed_tip <- high.Qc.block;
+        (* re-run the commit round for the in-flight backlog (PBFT's
+           NEW-VIEW re-issues the protocol for in-window slots): everyone
+           prepared at least block(high), so fresh commit votes for it
+           commit the whole branch and reopen the window *)
+        let recommit =
+          if Qc.is_genesis high then []
+          else [ broadcast_vote t ~kind:Qc.Commit high.Qc.block ]
+        in
+        (C.Broadcast (msg t (Message.New_view_proof { justify = high; proof }))
+        :: recommit)
+        @ try_propose t
+    | Some _ | None -> []
+  else []
+
+let rec on_view_change_msg t (m : Message.t) qc =
+  if not (Auth.verify_qc t.auth qc) then []
+  else begin
+    let existing =
+      Option.value ~default:[] (Hashtbl.find_opt t.vc_msgs m.Message.view)
+    in
+    if List.mem_assoc m.Message.sender existing then []
+    else begin
+      Hashtbl.replace t.vc_msgs m.Message.view ((m.Message.sender, qc) :: existing);
+      (* VIEW-CHANGE is broadcast, so every replica can count: f+1
+         view-change messages for a later view justify joining it. *)
+      if
+        m.Message.view > t.cview
+        && List.length existing + 1 >= t.cfg.C.f + 1
+      then enter_view t m.Message.view ~send:true
+      else maybe_finish_vc t
+    end
+  end
+
+and enter_view t view ~send =
+  t.cview <- view;
+  t.collecting_vc <- is_leader t;
+  t.proposed_tip <- Block.to_ref (committed_head t);
+  (* proposals are rejected until this view's NEW-VIEW sets the anchor *)
+  t.anchor <- None;
+  Hashtbl.reset t.accepted;
+  Hashtbl.reset t.stash;
+  Hashtbl.reset t.commit_voted;
+  Vote_collector.gc_below_view t.votes t.cview;
+  Vote_collector.gc_below_view t.commit_votes t.cview;
+  Hashtbl.iter
+    (fun v _ -> if v < t.cview then Hashtbl.remove t.vc_msgs v)
+    (Hashtbl.copy t.vc_msgs);
+  let timer = C.Timer (Pacemaker.current_timeout t.pacemaker) in
+  let vc =
+    if send then begin
+      (* PBFT broadcasts view-change messages to everyone *)
+      let m = msg t (Message.New_view { justify = t.prepared }) in
+      C.Broadcast m :: on_view_change_msg t m t.prepared
+    end
+    else begin
+      t.collecting_vc <- false;
+      []
+    end
+  in
+  timer :: vc
+
+let accept_new_view_proof t (m : Message.t) (justify : Qc.t) proof =
+  if m.Message.view < t.cview then []
+  else if m.Message.sender <> leader_of t m.Message.view then []
+  else if List.length proof < C.quorum t.cfg then []
+  else if not (List.for_all (Auth.verify_qc t.auth) (justify :: proof)) then []
+  else if not (List.for_all (fun qc -> Rank.qc_geq justify qc) proof) then []
+  else if not (Rank.qc_geq justify t.prepared) then
+    (* the leader's choice misses something we prepared — refuse *)
+    []
+  else begin
+    if m.Message.view > t.cview then ignore (enter_view t m.Message.view ~send:false);
+    t.collecting_vc <- false;
+    if Rank.qc_gt justify t.prepared then t.prepared <- justify;
+    t.anchor <- Some justify.Qc.block;
+    (* Join the new view's commit round for the in-flight backlog — even
+       if we already committed past it: stragglers that missed the old
+       view's traffic need a fresh quorum to pull them forward. *)
+    let recommit =
+      if Qc.is_genesis justify then []
+      else [ broadcast_vote t ~kind:Qc.Commit justify.Qc.block ]
+    in
+    C.Timer (Pacemaker.current_timeout t.pacemaker) :: recommit
+  end
+
+(* ---------- dispatch ---------- *)
+
+let on_message t (m : Message.t) =
+  match m.Message.payload with
+  | Message.Propose { block; justify = _ } ->
+      if m.Message.view = t.cview && m.Message.sender = leader_of t t.cview then
+        accept_pre_prepare t block
+      else []
+  | Message.Vote { kind; block; partial; locked = _ } ->
+      if m.Message.view <> t.cview then []
+      else begin
+        match kind with
+        | Qc.Prepare -> on_prepare_vote t block partial
+        | Qc.Commit -> on_commit_vote t block partial
+        | Qc.Pre_prepare | Qc.Precommit -> []
+      end
+  | Message.New_view { justify } ->
+      if m.Message.view >= t.cview then on_view_change_msg t m justify else []
+  | Message.New_view_proof { justify; proof } ->
+      accept_new_view_proof t m justify proof
+  | Message.Phase_cert qc ->
+      if Qc.phase_equal qc.Qc.phase Qc.Commit && Auth.verify_qc t.auth qc then
+        deliver_commit t qc
+      else []
+  | Message.Fetch { digest } ->
+      Committer.handle_fetch t.com ~sender:m.Message.sender ~view:t.cview digest
+  | Message.Fetch_resp { block } -> note_block t block
+  | Message.View_change _ | Message.Pre_prepare _ | Message.Client_op _
+  | Message.Client_reply _ ->
+      []
+
+let rec settle t actions =
+  List.concat_map
+    (function
+      | C.Send { dst; msg } when dst = me t -> settle t (on_message t msg)
+      | C.Broadcast msg as b -> b :: settle t (on_message t msg)
+      | (C.Send _ | C.Commit _ | C.Timer _) as a -> [ a ])
+    actions
+
+let on_message t m = settle t (on_message t m)
+
+let on_start t =
+  C.Timer (Pacemaker.current_timeout t.pacemaker) :: settle t (try_propose t)
+
+let on_new_payload t = settle t (try_propose t)
+
+let force_view_change t = settle t (enter_view t (t.cview + 1) ~send:true)
+
+let on_view_timeout t =
+  Pacemaker.note_view_change t.pacemaker;
+  settle t (enter_view t (t.cview + 1) ~send:true)

@@ -1,0 +1,26 @@
+(** Collects votes (partial signatures) per (phase, view, block) and
+    reports when a quorum is reached.
+
+    Each vote is verified (and metered) through {!Auth} before it counts;
+    duplicates and invalid shares are rejected. [quorum] fires exactly once
+    per key. *)
+
+open Marlin_types
+
+type t
+
+val create : Auth.t -> t
+
+type outcome =
+  | Quorum of Qc.t  (** the quorum was just reached; here is the QC *)
+  | Counted of int  (** vote accepted; running count *)
+  | Rejected of string  (** invalid, duplicate, or already complete *)
+
+val add :
+  t -> phase:Qc.phase -> view:int -> block:Qc.block_ref ->
+  Marlin_crypto.Threshold.partial -> outcome
+
+val count : t -> phase:Qc.phase -> view:int -> digest:Marlin_crypto.Sha256.t -> int
+
+val gc_below_view : t -> int -> unit
+(** Drop state for views below the given one. *)

@@ -1,0 +1,1 @@
+lib/crypto/sha256.ml: Array Bytes Char Format Hashtbl Int32 Int64 String

@@ -1,0 +1,1 @@
+lib/crypto/signature.ml: Format Hmac Keychain Sha256

@@ -1,0 +1,1 @@
+lib/crypto/threshold.ml: Format Hmac Int Keychain List Printf Sha256 String

@@ -1,0 +1,20 @@
+let block_size = 64
+
+let mac ~key msg =
+  let key =
+    if String.length key > block_size then Sha256.to_raw (Sha256.string key)
+    else key
+  in
+  let pad c =
+    String.init block_size (fun i ->
+        let k = if i < String.length key then Char.code key.[i] else 0 in
+        Char.chr (k lxor c))
+  in
+  let inner = Sha256.Ctx.create () in
+  Sha256.Ctx.feed_string inner (pad 0x36);
+  Sha256.Ctx.feed_string inner msg;
+  let inner_digest = Sha256.Ctx.finalize inner in
+  let outer = Sha256.Ctx.create () in
+  Sha256.Ctx.feed_string outer (pad 0x5c);
+  Sha256.Ctx.feed_string outer (Sha256.to_raw inner_digest);
+  Sha256.Ctx.finalize outer

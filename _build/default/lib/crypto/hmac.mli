@@ -1,0 +1,7 @@
+(** HMAC-SHA256 (RFC 2104). Used as the tag function of the simulated
+    signature schemes. *)
+
+val mac : key:string -> string -> Sha256.t
+(** [mac ~key msg] is HMAC-SHA256(key, msg). Keys of any length are
+    accepted; keys longer than the block size are hashed first, per the
+    RFC. *)

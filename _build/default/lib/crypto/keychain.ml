@@ -1,0 +1,20 @@
+type t = { n : int; secrets : string array; system_secret : string }
+
+let create ?(seed = "marlin-cluster") ~n () =
+  if n <= 0 then invalid_arg "Keychain.create: n must be positive";
+  let derive label =
+    Sha256.to_raw (Sha256.string (Printf.sprintf "%s|%s" seed label))
+  in
+  {
+    n;
+    secrets = Array.init n (fun i -> derive (Printf.sprintf "replica-%d" i));
+    system_secret = derive "system";
+  }
+
+let n kc = kc.n
+
+let secret kc i =
+  if i < 0 || i >= kc.n then invalid_arg "Keychain.secret: replica id out of range";
+  kc.secrets.(i)
+
+let system_secret kc = kc.system_secret

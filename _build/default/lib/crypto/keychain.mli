@@ -1,0 +1,28 @@
+(** Key material for a cluster of [n] replicas.
+
+    The paper's protocols use ECDSA signatures and a (n-f, n) threshold
+    signature. This repository has no access to real public-key crypto, so
+    both schemes are *simulated*: each replica holds an HMAC key derived
+    deterministically from a cluster seed, and verification happens through
+    the keychain (which stands in for the PKI). The simulated adversary
+    never reads another replica's key, so unforgeability holds in the model;
+    CPU costs of the real schemes are charged separately via
+    {!Cost_model}. *)
+
+type t
+
+val create : ?seed:string -> n:int -> unit -> t
+(** [create ~seed ~n ()] derives key material for replicas [0 .. n-1].
+    The same seed always yields the same keys, which keeps simulations
+    reproducible. @raise Invalid_argument if [n <= 0]. *)
+
+val n : t -> int
+(** Number of replicas the keychain was created for. *)
+
+val secret : t -> int -> string
+(** [secret kc i] is replica [i]'s signing key.
+    @raise Invalid_argument if [i] is out of range. *)
+
+val system_secret : t -> string
+(** The cluster-wide key under which combined threshold signatures are
+    tagged (stands in for the threshold public key). *)

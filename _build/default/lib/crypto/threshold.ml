@@ -1,0 +1,45 @@
+type partial = { signer : int; tag : Sha256.t }
+type t = { signers : int list; tag : Sha256.t }
+
+let partial_size_bytes = 64
+let size_bytes ~n = 64 + ((n + 7) / 8)
+
+let share_msg msg = "tshare|" ^ msg
+
+let sign kc ~signer msg =
+  { signer; tag = Hmac.mac ~key:(Keychain.secret kc signer) (share_msg msg) }
+
+let verify_partial kc msg p =
+  p.signer >= 0
+  && p.signer < Keychain.n kc
+  && Sha256.equal p.tag
+       (Hmac.mac ~key:(Keychain.secret kc p.signer) (share_msg msg))
+
+let combined_tag kc msg signers =
+  let ids = String.concat "," (List.map string_of_int signers) in
+  Hmac.mac ~key:(Keychain.system_secret kc) (Printf.sprintf "tsig|%s|%s" ids msg)
+
+let combine kc ~threshold msg partials =
+  let valid = List.filter (verify_partial kc msg) partials in
+  let signers = List.sort_uniq Int.compare (List.map (fun p -> p.signer) valid) in
+  if List.length signers < threshold then
+    Error
+      (Printf.sprintf "combine: %d distinct valid shares, need %d"
+         (List.length signers) threshold)
+  else Ok { signers; tag = combined_tag kc msg signers }
+
+let verify kc ~threshold msg s =
+  let n = Keychain.n kc in
+  let sorted = List.sort_uniq Int.compare s.signers in
+  List.length sorted >= threshold
+  && List.equal Int.equal sorted s.signers
+  && List.for_all (fun i -> i >= 0 && i < n) s.signers
+  && Sha256.equal s.tag (combined_tag kc msg s.signers)
+
+let equal a b =
+  List.equal Int.equal a.signers b.signers && Sha256.equal a.tag b.tag
+
+let pp fmt s =
+  Format.fprintf fmt "tsig[{%s}:%a]"
+    (String.concat "," (List.map string_of_int s.signers))
+    Sha256.pp s.tag

@@ -1,0 +1,1 @@
+lib/runtime/cluster.ml: Array Batch Block Block_store Float Hashtbl List Marlin_core Marlin_crypto Marlin_sim Marlin_store Marlin_types Mempool Message Operation

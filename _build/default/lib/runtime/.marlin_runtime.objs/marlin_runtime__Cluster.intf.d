@@ -1,0 +1,1 @@
+lib/runtime/cluster.mli: Marlin_core Marlin_crypto Marlin_sim Marlin_store

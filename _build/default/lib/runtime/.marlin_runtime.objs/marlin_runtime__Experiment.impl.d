@@ -1,0 +1,1 @@
+lib/runtime/experiment.ml: Cluster List Marlin_analysis Marlin_core Marlin_sim Marlin_types Message

@@ -1,0 +1,1 @@
+lib/runtime/experiment.mli: Cluster Marlin_analysis Marlin_core

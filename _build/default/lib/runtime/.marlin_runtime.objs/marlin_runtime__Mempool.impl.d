@@ -1,0 +1,1 @@
+lib/runtime/mempool.ml: Hashtbl List Marlin_types Operation Queue

@@ -1,0 +1,477 @@
+open Marlin_types
+module C = Marlin_core.Consensus_intf
+module Cpu_meter = Marlin_core.Cpu_meter
+module Sim = Marlin_sim.Sim
+module Netsim = Marlin_sim.Netsim
+module Rng = Marlin_sim.Rng
+module Sim_disk = Marlin_store.Sim_disk
+module Cost_model = Marlin_crypto.Cost_model
+
+type params = {
+  n : int;
+  f : int;
+  clients : int;
+  op_size : int;
+  reply_size : int;
+  batch_max : int;
+  exec_cost : float;
+  cost_model : Cost_model.t;
+  net : Netsim.config;
+  disk : Sim_disk.config;
+  base_timeout : float;
+  max_timeout : float;
+  rotation : float option;
+  seed : int;
+}
+
+let default_params =
+  {
+    n = 4;
+    f = 1;
+    clients = 16;
+    op_size = 150;
+    reply_size = 150;
+    batch_max = 400;
+    exec_cost = 2e-6;
+    cost_model = Cost_model.ecdsa_group;
+    net = Netsim.default_config;
+    disk = Sim_disk.default_config;
+    base_timeout = 1.0;
+    max_timeout = 16.0;
+    rotation = None;
+    seed = 1;
+  }
+
+let params_for_f ?(clients = 16) f =
+  { default_params with f; n = (3 * f) + 1; clients }
+
+module Make (P : C.PROTOCOL) = struct
+  type replica = {
+    id : int;
+    proto : P.t;
+    mempool : Mempool.t;
+    disk : Sim_disk.t;
+    mutable cpu_free : float;
+    mutable timer_gen : int;
+    mutable crashed : bool;
+    mutable executed : int;
+    mutable commit_log : (float * int) list; (* (time, ops) newest first *)
+    exec_seen : (int * int, unit) Hashtbl.t;
+  }
+
+  type client = {
+    endpoint : int;
+    index : int;
+    mutable next_seq : int;
+    mutable outstanding : int option;
+    mutable submit_time : float;
+    replies : (int, unit) Hashtbl.t; (* repliers for the outstanding seq *)
+    mutable completed : (float * float) list; (* (time, latency) newest first *)
+  }
+
+  type t = {
+    params : params;
+    sim : Sim.t;
+    net : Netsim.t;
+    rng : Rng.t;
+    replicas : replica array;
+    clients : client array;
+    sig_bytes : int;
+    mutable started : bool;
+    mutable vc_start : float option;
+    mutable pre_prepare_seen : bool;
+  }
+
+  let sim t = t.sim
+  let net t = t.net
+  let params t = t.params
+  let protocol t id = t.replicas.(id).proto
+
+  (* Accounting size: codec size plus the operation/reply body padding the
+     simulator does not materialize (bodies are empty in-sim). *)
+  let message_size t (m : Message.t) =
+    let base = Message.wire_size ~sig_bytes:t.sig_bytes m in
+    let pad = Message.op_count m * t.params.op_size in
+    let reply_pad =
+      match m.Message.payload with
+      | Message.Client_reply _ -> t.params.reply_size
+      | _ -> 0
+    in
+    base + pad + reply_pad
+
+  let send t ~earliest ~src ~dst m =
+    Netsim.send t.net ~earliest ~src ~dst ~size:(message_size t m) m
+
+  (* ---------- replica side ---------- *)
+
+  let rec apply_replica_actions t (r : replica) ~start actions =
+    (* The protocol handler already ran; charge its crypto time plus any
+       execution/disk work the commits imply, then release the outputs at
+       the CPU-completion instant. *)
+    let crypto_cost = Cpu_meter.take (P.cpu_meter r.proto) in
+    let commit_cost = ref 0. in
+    let commits = ref [] in
+    List.iter
+      (fun a ->
+        match a with
+        | C.Commit blocks ->
+            List.iter
+              (fun b ->
+                let ops =
+                  List.filter
+                    (fun op ->
+                      let key = Operation.key op in
+                      if Hashtbl.mem r.exec_seen key then false
+                      else begin
+                        Hashtbl.replace r.exec_seen key ();
+                        true
+                      end)
+                    (Batch.to_list b.Block.payload)
+                in
+                let block_bytes =
+                  Block.wire_size ~sig_bytes:t.sig_bytes b
+                  + (Batch.length b.Block.payload * t.params.op_size)
+                in
+                commit_cost :=
+                  !commit_cost
+                  +. Sim_disk.commit_cost r.disk ~bytes:block_bytes
+                  +. (float_of_int (List.length ops) *. t.params.exec_cost)
+                  +. Cost_model.hash_cost ~bytes:block_bytes;
+                Mempool.mark_committed r.mempool ops;
+                commits := !commits @ ops)
+              blocks
+        | C.Send _ | C.Broadcast _ | C.Timer _ -> ())
+      actions;
+    let finish = start +. crypto_cost +. !commit_cost in
+    r.cpu_free <- finish;
+    (* record metrics *)
+    if !commits <> [] then begin
+      r.executed <- r.executed + List.length !commits;
+      r.commit_log <- (finish, List.length !commits) :: r.commit_log
+    end;
+    (* emit *)
+    List.iter
+      (fun a ->
+        match a with
+        | C.Send { dst; msg } -> send t ~earliest:finish ~src:r.id ~dst msg
+        | C.Broadcast msg ->
+            for dst = 0 to t.params.n - 1 do
+              if dst <> r.id then send t ~earliest:finish ~src:r.id ~dst msg
+            done
+        | C.Timer d ->
+            r.timer_gen <- r.timer_gen + 1;
+            let gen = r.timer_gen in
+            Sim.schedule_at t.sim ~time:(finish +. d) (fun () ->
+                if (not r.crashed) && gen = r.timer_gen then begin
+                  let view_before = P.current_view r.proto in
+                  let start = Float.max (Sim.now t.sim) r.cpu_free in
+                  let actions = P.on_view_timeout r.proto in
+                  if P.current_view r.proto > view_before then begin
+                    if t.vc_start = None then t.vc_start <- Some (Sim.now t.sim);
+                    apply_replica_actions t r ~start actions;
+                    relay_pending t r
+                  end
+                  else apply_replica_actions t r ~start actions
+                end)
+        | C.Commit _ -> ())
+      actions;
+    (* every replica replies (clients complete on f+1 matching replies,
+       as in the paper, and survive any f crashes among the repliers) *)
+    List.iter
+      (fun (op : Operation.t) ->
+        if op.Operation.client < t.params.clients then
+          let dst = t.params.n + op.Operation.client in
+          send t ~earliest:finish ~src:r.id ~dst
+            (Message.make ~sender:r.id ~view:0
+               (Message.Client_reply
+                  { client = op.Operation.client; seq = op.Operation.seq })))
+      !commits
+
+  and handle_replica t (r : replica) ~src:_ (m : Message.t) =
+    if not r.crashed then begin
+      let start = Float.max (Sim.now t.sim) r.cpu_free in
+      match m.Message.payload with
+      | Message.Client_op op ->
+          if Mempool.add r.mempool op then begin
+            if P.is_leader r.proto then
+              apply_replica_actions t r ~start (P.on_new_payload r.proto)
+          end
+          else if Mempool.is_committed r.mempool op && op.Operation.client < t.params.clients
+          then
+            (* a retransmission of an operation we already executed:
+               re-send the reply the client evidently missed *)
+            send t ~earliest:start ~src:r.id ~dst:(t.params.n + op.Operation.client)
+              (Message.make ~sender:r.id ~view:0
+                 (Message.Client_reply
+                    { client = op.Operation.client; seq = op.Operation.seq }))
+      | _ ->
+          let view_before = P.current_view r.proto in
+          let actions = P.on_message r.proto m in
+          (match m.Message.payload with
+          | Message.Pre_prepare _ -> t.pre_prepare_seen <- true
+          | _ -> ());
+          apply_replica_actions t r ~start actions;
+          if P.current_view r.proto > view_before then relay_pending t r
+    end
+
+  (* After a view change, operations stranded at this replica — pooled or
+     batched into blocks the old view orphaned — must be re-proposed and
+     reach the new leader. *)
+  and relay_pending t (r : replica) =
+    Mempool.requeue_taken r.mempool;
+    if P.is_leader r.proto then
+      apply_replica_actions t r
+        ~start:(Float.max (Sim.now t.sim) r.cpu_free)
+        (P.on_new_payload r.proto)
+    else begin
+      let leader = P.current_view r.proto mod t.params.n in
+      if leader <> r.id then
+        List.iter
+          (fun op ->
+            send t ~earliest:r.cpu_free ~src:r.id ~dst:leader
+              (Message.make ~sender:r.id ~view:0 (Message.Client_op op)))
+          (Mempool.snapshot r.mempool)
+    end
+
+  (* ---------- client side ---------- *)
+
+  let rec submit_op t (cl : client) =
+    let seq = cl.next_seq in
+    cl.next_seq <- seq + 1;
+    cl.outstanding <- Some seq;
+    cl.submit_time <- Sim.now t.sim;
+    Hashtbl.reset cl.replies;
+    send_op t cl seq;
+    watch_retry t cl seq
+
+  (* Clients contact one replica; non-leaders relay to the leader (the
+     mempool-relay pattern real deployments use). Contacting a fixed
+     replica per client spreads relay load. On retry, fall over to the
+     next replica in case the contact crashed. *)
+  and send_op t (cl : client) ?(attempt = 0) seq =
+    let op = Operation.make ~client:cl.index ~seq ~body:"" in
+    let contact = (cl.index + attempt) mod t.params.n in
+    send t ~earliest:(Sim.now t.sim) ~src:cl.endpoint ~dst:contact
+      (Message.make ~sender:cl.endpoint ~view:0 (Message.Client_op op))
+
+  (* Standard client-side retransmission: if no quorum of replies within
+     the timeout, resend (replica-side dedup makes this harmless). *)
+  and watch_retry t (cl : client) ?(attempt = 0) seq =
+    let retry_after = Float.max 2.0 (2.5 *. t.params.base_timeout) in
+    Sim.schedule_at t.sim
+      ~time:(Sim.now t.sim +. retry_after)
+      (fun () ->
+        if cl.outstanding = Some seq then begin
+          send_op t cl ~attempt:(attempt + 1) seq;
+          watch_retry t cl ~attempt:(attempt + 1) seq
+        end)
+
+  let handle_client t (cl : client) ~src (m : Message.t) =
+    match m.Message.payload with
+    | Message.Client_reply { client; seq } ->
+        if client = cl.index && cl.outstanding = Some seq then begin
+          Hashtbl.replace cl.replies src ();
+          if Hashtbl.length cl.replies >= t.params.f + 1 then begin
+            cl.outstanding <- None;
+            let now = Sim.now t.sim in
+            cl.completed <- (now, now -. cl.submit_time) :: cl.completed;
+            submit_op t cl
+          end
+        end
+    | _ -> ()
+
+  (* ---------- relay: ops reach the leader ---------- *)
+
+  (* A non-leader holding fresh ops forwards them to the current leader.
+     Cheapest faithful model: when a replica's mempool gains an op and it
+     is not the leader, it relays the op message once. *)
+  let handle_replica_with_relay t r ~src (m : Message.t) =
+    (if not r.crashed then
+       match m.Message.payload with
+       | Message.Client_op op when src >= t.params.n ->
+           (* only relay ops arriving directly from clients *)
+           if not (P.is_leader r.proto) then begin
+             let leader = P.current_view r.proto mod t.params.n in
+             if leader <> r.id then
+               send t ~earliest:(Sim.now t.sim) ~src:r.id ~dst:leader
+                 (Message.make ~sender:r.id ~view:0 (Message.Client_op op))
+           end
+       | _ -> ());
+    handle_replica t r ~src m
+
+  (* ---------- construction ---------- *)
+
+  let create params =
+    let sim = Sim.create () in
+    let rng = Rng.create ~seed:params.seed in
+    let net = Netsim.create sim (Rng.split rng) params.net
+        ~endpoints:(params.n + params.clients) in
+    let keychain = Marlin_crypto.Keychain.create ~n:params.n () in
+    let sig_bytes =
+      Cost_model.combined_size params.cost_model ~n:params.n
+        ~shares:(params.n - params.f)
+    in
+    let make_replica id =
+      let mempool = Mempool.create () in
+      let cfg =
+        {
+          C.id;
+          n = params.n;
+          f = params.f;
+          keychain;
+          cost = params.cost_model;
+          get_batch = (fun () -> Batch.of_list (Mempool.take mempool ~max:params.batch_max));
+          has_pending = (fun () -> Mempool.pending mempool > 0);
+          base_timeout = params.base_timeout;
+          max_timeout = params.max_timeout;
+        }
+      in
+      {
+        id;
+        proto = P.create cfg;
+        mempool;
+        disk = Sim_disk.create params.disk;
+        cpu_free = 0.;
+        timer_gen = 0;
+        crashed = false;
+        executed = 0;
+        commit_log = [];
+        exec_seen = Hashtbl.create 1024;
+      }
+    in
+    let make_client index =
+      {
+        endpoint = params.n + index;
+        index;
+        next_seq = 0;
+        outstanding = None;
+        submit_time = 0.;
+        replies = Hashtbl.create 8;
+        completed = [];
+      }
+    in
+    let t =
+      {
+        params;
+        sim;
+        net;
+        rng;
+        replicas = Array.init params.n make_replica;
+        clients = Array.init params.clients make_client;
+        sig_bytes;
+        started = false;
+        vc_start = None;
+        pre_prepare_seen = false;
+      }
+    in
+    Array.iter
+      (fun r -> Netsim.register net ~id:r.id (handle_replica_with_relay t r))
+      t.replicas;
+    Array.iter
+      (fun cl -> Netsim.register net ~id:cl.endpoint (handle_client t cl))
+      t.clients;
+    t
+
+  let start t =
+    if not t.started then begin
+      t.started <- true;
+      Array.iter
+        (fun r ->
+          Sim.schedule_at t.sim ~time:0. (fun () ->
+              if not r.crashed then
+                apply_replica_actions t r ~start:0. (P.on_start r.proto)))
+        t.replicas;
+      (* Stagger client start-up within the first 50 ms. *)
+      Array.iter
+        (fun cl ->
+          let offset = Rng.float t.rng 0.05 in
+          Sim.schedule_at t.sim ~time:offset (fun () -> submit_op t cl))
+        t.clients;
+      (* Rotating-leader mode: force a view change on every live replica
+         at each rotation boundary. *)
+      match t.params.rotation with
+      | None -> ()
+      | Some period ->
+          let rec rotate k =
+            Sim.schedule_at t.sim ~time:(float_of_int k *. period) (fun () ->
+                Array.iter
+                  (fun r ->
+                    if not r.crashed then begin
+                      let start = Float.max (Sim.now t.sim) r.cpu_free in
+                      apply_replica_actions t r ~start
+                        (P.force_view_change r.proto);
+                      relay_pending t r
+                    end)
+                  t.replicas;
+                rotate (k + 1))
+          in
+          rotate 1
+    end
+
+  let run t ~until =
+    start t;
+    Sim.run ~until t.sim
+
+  let crash t ~at id =
+    Sim.schedule_at t.sim ~time:at (fun () ->
+        t.replicas.(id).crashed <- true;
+        Netsim.crash t.net id)
+
+  (* ---------- measurements ---------- *)
+
+  let committed_ops_in t ~replica ~since ~until =
+    List.fold_left
+      (fun acc (time, ops) ->
+        if time >= since && time <= until then acc + ops else acc)
+      0
+      t.replicas.(replica).commit_log
+
+  let latencies_in t ~since ~until =
+    Array.to_list t.clients
+    |> List.concat_map (fun cl ->
+           List.filter_map
+             (fun (time, latency) ->
+               if time >= since && time <= until then Some latency else None)
+             cl.completed)
+
+  let total_executed t ~replica = t.replicas.(replica).executed
+
+  let first_commit_after t ~replica instant =
+    List.fold_left
+      (fun acc (time, _) ->
+        if time > instant then
+          match acc with
+          | None -> Some time
+          | Some best -> Some (Float.min best time)
+        else acc)
+      None
+      t.replicas.(replica).commit_log
+
+  let view_change_start t = t.vc_start
+  let pre_prepare_seen t = t.pre_prepare_seen
+
+  let check_agreement t =
+    let live =
+      Array.to_list t.replicas |> List.filter (fun r -> not r.crashed)
+    in
+    match live with
+    | [] -> true
+    | first :: _ ->
+        let best =
+          List.fold_left
+            (fun acc r ->
+              if
+                (P.committed_head r.proto).Block.height
+                > (P.committed_head acc.proto).Block.height
+              then r
+              else acc)
+            first live
+        in
+        let store = P.block_store best.proto in
+        let longest = P.committed_head best.proto in
+        List.for_all
+          (fun r ->
+            Block_store.extends store ~descendant:longest
+              ~ancestor:(Block.digest (P.committed_head r.proto)))
+          live
+end

@@ -1,0 +1,76 @@
+(** A full simulated deployment: n replicas running a consensus protocol
+    plus closed-loop clients, over the {!Marlin_sim.Netsim} network, with
+    CPU, disk and bandwidth accounting — the machinery behind every
+    figure-reproducing benchmark.
+
+    Replicas execute committed operations (deduplicated by client/seq) and
+    reply to clients; a client completes a request on f+1 matching replies
+    and immediately submits the next one (closed loop — load is set by the
+    number of clients, as in the paper's throughput/latency sweeps). *)
+
+
+type params = {
+  n : int;
+  f : int;
+  clients : int;
+  op_size : int;  (** bytes per operation body (150 in the paper, 0 for no-op) *)
+  reply_size : int;  (** bytes per reply (150) *)
+  batch_max : int;  (** max operations per block *)
+  exec_cost : float;  (** CPU seconds to execute one operation *)
+  cost_model : Marlin_crypto.Cost_model.t;
+  net : Marlin_sim.Netsim.config;
+  disk : Marlin_store.Sim_disk.config;
+  base_timeout : float;
+  max_timeout : float;
+  rotation : float option;  (** rotate leaders every [t] seconds *)
+  seed : int;
+}
+
+val default_params : params
+(** The paper's testbed defaults: f = 1 (n = 4), 16 clients, 150-byte
+    ops/replies, 400-op batches, 40 ms / 200 Mbps network, ECDSA costs,
+    LevelDB-like disk, 1 s base timeout, no rotation. *)
+
+val params_for_f : ?clients:int -> int -> params
+(** [params_for_f f] is {!default_params} with [n = 3f + 1]. *)
+
+module Make (P : Marlin_core.Consensus_intf.PROTOCOL) : sig
+  type t
+
+  val create : params -> t
+  val sim : t -> Marlin_sim.Sim.t
+  val net : t -> Marlin_sim.Netsim.t
+  val params : t -> params
+
+  val run : t -> until:float -> unit
+  (** Start (if not yet started) and run the simulation to [until]. *)
+
+  val crash : t -> at:float -> int -> unit
+  (** Schedule a crash fault. *)
+
+  val protocol : t -> int -> P.t
+  (** Replica [id]'s protocol state (introspection). *)
+
+  (* -- measurements -- *)
+
+  val committed_ops_in : t -> replica:int -> since:float -> until:float -> int
+  (** Operations executed by [replica] in the window. *)
+
+  val latencies_in : t -> since:float -> until:float -> float list
+  (** Client request latencies completed in the window (seconds). *)
+
+  val total_executed : t -> replica:int -> int
+
+  val first_commit_after : t -> replica:int -> float -> float option
+  (** Time of the first block committed at [replica] after the instant. *)
+
+  val view_change_start : t -> float option
+  (** When the first replica escalated a timeout into a view change. *)
+
+  val check_agreement : t -> bool
+  (** All live replicas' committed chains are prefixes of the longest. *)
+
+  val pre_prepare_seen : t -> bool
+  (** Did any PRE-PREPARE message cross the network (i.e., did a Marlin
+      view change take the unhappy path)? *)
+end

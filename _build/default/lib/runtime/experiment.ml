@@ -1,0 +1,157 @@
+open Marlin_types
+module C = Marlin_core.Consensus_intf
+module Stats = Marlin_analysis.Stats
+module Netsim = Marlin_sim.Netsim
+module Sim = Marlin_sim.Sim
+
+type throughput_result = {
+  clients : int;
+  throughput : float;
+  latency : Stats.summary;
+  agreement : bool;
+  executed : int;
+}
+
+let run_throughput (module P : C.PROTOCOL) (params : Cluster.params) ~warmup
+    ~duration =
+  let module Cl = Cluster.Make (P) in
+  let t = Cl.create params in
+  Cl.run t ~until:(warmup +. duration);
+  let probe = params.Cluster.n - 1 in
+  let executed =
+    Cl.committed_ops_in t ~replica:probe ~since:warmup ~until:(warmup +. duration)
+  in
+  {
+    clients = params.Cluster.clients;
+    throughput = float_of_int executed /. duration;
+    latency =
+      Stats.summarize (Cl.latencies_in t ~since:warmup ~until:(warmup +. duration));
+    agreement = Cl.check_agreement t;
+    executed;
+  }
+
+let sweep proto params ~warmup ~duration ~client_counts =
+  List.map
+    (fun clients ->
+      run_throughput proto { params with Cluster.clients } ~warmup ~duration)
+    client_counts
+
+let peak ?latency_cap results =
+  let best = function
+    | [] -> invalid_arg "Experiment.peak: no results"
+    | first :: rest ->
+        List.fold_left
+          (fun acc r -> if r.throughput > acc.throughput then r else acc)
+          first rest
+  in
+  match latency_cap with
+  | None -> best results
+  | Some cap -> (
+      match List.filter (fun r -> r.latency.Stats.mean <= cap) results with
+      | [] -> best results
+      | within -> best within)
+
+type vc_result = {
+  vc_latency : float;
+  unhappy : bool;
+  vc_bytes : int;
+  vc_authenticators : int;
+  vc_messages : int;
+}
+
+let consensus_message (m : Message.t) =
+  match m.Message.payload with
+  | Message.Propose _ | Message.Vote _ | Message.Phase_cert _
+  | Message.View_change _ | Message.Pre_prepare _ | Message.New_view _
+  | Message.New_view_proof _ ->
+      true
+  | Message.Fetch _ | Message.Fetch_resp _ | Message.Client_op _
+  | Message.Client_reply _ ->
+      false
+
+let run_view_change (module P : C.PROTOCOL) (params : Cluster.params)
+    ~force_unhappy =
+  let module Cl = Cluster.Make (P) in
+  let t = Cl.create params in
+  let sim = Cl.sim t in
+  let net = Cl.net t in
+  let warm = 2.0 in
+  let divergence_window = 0.3 in
+  let crash_at = if force_unhappy then warm +. divergence_window else warm in
+  (* Record consensus traffic with timestamps; the view-change window
+     [vc_start, first_commit] is summed after the run. *)
+  let events = ref [] in
+  Netsim.on_send net
+    (Some
+       (fun ~src:_ ~dst:_ ~size m ->
+         if consensus_message m then
+           events :=
+             (Sim.now sim, size, Message.authenticators m) :: !events));
+  if force_unhappy then
+    (* Divergence without timer skew: during the window the doomed
+       leader's proposals reach only replica 1. Replica 1 votes for one
+       more block than everyone else (so last-voted blocks diverge and the
+       next leader's snapshot cannot take the happy path), that block's QC
+       never forms, and the blocks before it keep committing everywhere —
+       so every replica's view timer stays aligned. *)
+    Sim.schedule_at sim ~time:warm (fun () ->
+        Netsim.set_link_filter net
+          (Some
+             (fun ~src ~dst (m : Marlin_types.Message.t) ->
+               src <> 0
+               ||
+               match m.Marlin_types.Message.payload with
+               | Marlin_types.Message.Propose _ -> dst = 1
+               | _ -> true)));
+  Cl.crash t ~at:crash_at 0;
+  Sim.schedule_at sim ~time:crash_at (fun () -> Netsim.set_link_filter net None);
+  Cl.run t ~until:(crash_at +. (4. *. params.Cluster.base_timeout) +. 5.);
+  let vc_start =
+    match Cl.view_change_start t with
+    | Some s -> s
+    | None -> crash_at
+  in
+  let probe = 1 in
+  let first_commit =
+    match Cl.first_commit_after t ~replica:probe vc_start with
+    | Some time -> time
+    | None -> infinity
+  in
+  let vc_bytes, vc_auths, vc_msgs =
+    List.fold_left
+      (fun (b, a, m) (time, size, auths) ->
+        if time >= vc_start && time <= first_commit then
+          (b + size, a + auths, m + 1)
+        else (b, a, m))
+      (0, 0, 0) !events
+  in
+  {
+    vc_latency = first_commit -. vc_start;
+    unhappy = Cl.pre_prepare_seen t;
+    vc_bytes;
+    vc_authenticators = vc_auths;
+    vc_messages = vc_msgs;
+  }
+
+let run_with_crashes (module P : C.PROTOCOL) (params : Cluster.params) ~crashed
+    ~warmup ~duration =
+  let module Cl = Cluster.Make (P) in
+  let t = Cl.create params in
+  List.iter (fun id -> Cl.crash t ~at:0.0 id) crashed;
+  Cl.run t ~until:(warmup +. duration);
+  let probe =
+    (* a live replica with a high id (low ids answer clients) *)
+    let rec find id = if List.mem id crashed then find (id - 1) else id in
+    find (params.Cluster.n - 1)
+  in
+  let executed =
+    Cl.committed_ops_in t ~replica:probe ~since:warmup ~until:(warmup +. duration)
+  in
+  {
+    clients = params.Cluster.clients;
+    throughput = float_of_int executed /. duration;
+    latency =
+      Stats.summarize (Cl.latencies_in t ~since:warmup ~until:(warmup +. duration));
+    agreement = Cl.check_agreement t;
+    executed;
+  }

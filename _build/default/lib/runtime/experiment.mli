@@ -1,0 +1,54 @@
+(** Experiment drivers: the reusable measurement procedures behind the
+    paper's figures (throughput/latency sweeps, peak throughput,
+    view-change latency, rotating leaders under crash faults). *)
+
+type throughput_result = {
+  clients : int;
+  throughput : float;  (** committed operations per second, steady state *)
+  latency : Marlin_analysis.Stats.summary;  (** client latency, seconds *)
+  agreement : bool;  (** did all live replicas agree? *)
+  executed : int;  (** ops executed in the window at the probe replica *)
+}
+
+val run_throughput :
+  Marlin_core.Consensus_intf.protocol -> Cluster.params -> warmup:float ->
+  duration:float -> throughput_result
+(** Run the cluster for [warmup + duration] simulated seconds and measure
+    over the steady-state window. *)
+
+val sweep :
+  Marlin_core.Consensus_intf.protocol -> Cluster.params -> warmup:float ->
+  duration:float -> client_counts:int list -> throughput_result list
+(** One throughput/latency point per client count (a figure 10a-f curve). *)
+
+val peak : ?latency_cap:float -> throughput_result list -> throughput_result
+(** The point with the highest throughput among those whose mean latency is
+    within [latency_cap] (default: none). The paper's throughput/latency
+    figures plot latency up to 1 s, so its "peak throughput" is the best
+    point in that range; pass [~latency_cap:1.0] to match. Falls back to
+    the overall maximum when no point qualifies.
+    @raise Invalid_argument on the empty list. *)
+
+type vc_result = {
+  vc_latency : float;  (** seconds from view-change start to first commit *)
+  unhappy : bool;  (** did the PRE-PREPARE phase run (Marlin only)? *)
+  vc_bytes : int;  (** consensus bytes on the wire during the view change *)
+  vc_authenticators : int;
+  vc_messages : int;
+}
+
+val run_view_change :
+  Marlin_core.Consensus_intf.protocol -> Cluster.params ->
+  force_unhappy:bool -> vc_result
+(** Warm the cluster up, crash the leader, and measure the paper's
+    view-change latency: from the instant a replica escalates its timeout
+    to the first block committed afterwards. With [force_unhappy], the
+    doomed leader's final broadcasts are delivered to a single replica
+    first, so view-change snapshots disagree and Marlin's unhappy path
+    (PRE-PREPARE) runs. *)
+
+val run_with_crashes :
+  Marlin_core.Consensus_intf.protocol -> Cluster.params -> crashed:int list ->
+  warmup:float -> duration:float -> throughput_result
+(** Crash the given replicas at time 0 (rotating-leader experiments,
+    Figure 10j). *)

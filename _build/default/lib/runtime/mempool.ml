@@ -1,0 +1,80 @@
+open Marlin_types
+
+type status = In_pool | Taken | Committed
+
+type t = {
+  queue : Operation.t Queue.t;
+  seen : (int * int, status) Hashtbl.t;
+  taken : (int * int, Operation.t) Hashtbl.t; (* taken, not yet committed *)
+  mutable stale : int; (* committed ops still sitting in [queue] *)
+}
+
+let create () =
+  {
+    queue = Queue.create ();
+    seen = Hashtbl.create 256;
+    taken = Hashtbl.create 64;
+    stale = 0;
+  }
+
+let add t op =
+  let key = Operation.key op in
+  if Hashtbl.mem t.seen key then false
+  else begin
+    Hashtbl.replace t.seen key In_pool;
+    Queue.push op t.queue;
+    true
+  end
+
+let take t ~max =
+  let rec go k acc =
+    if k = 0 || Queue.is_empty t.queue then List.rev acc
+    else
+      let op = Queue.pop t.queue in
+      match Hashtbl.find_opt t.seen (Operation.key op) with
+      | Some In_pool ->
+          Hashtbl.replace t.seen (Operation.key op) Taken;
+          Hashtbl.replace t.taken (Operation.key op) op;
+          go (k - 1) (op :: acc)
+      | Some Committed ->
+          t.stale <- t.stale - 1;
+          go k acc
+      | Some Taken | None -> go k acc
+  in
+  go max []
+
+let mark_committed t ops =
+  List.iter
+    (fun op ->
+      let key = Operation.key op in
+      (match Hashtbl.find_opt t.seen key with
+      | Some In_pool -> t.stale <- t.stale + 1
+      | Some Taken | Some Committed | None -> ());
+      Hashtbl.remove t.taken key;
+      Hashtbl.replace t.seen key Committed)
+    ops
+
+let pending t = Queue.length t.queue - t.stale
+
+let is_committed t op =
+  match Hashtbl.find_opt t.seen (Operation.key op) with
+  | Some Committed -> true
+  | Some In_pool | Some Taken | None -> false
+
+let requeue_taken t =
+  let ops = Hashtbl.fold (fun _ op acc -> op :: acc) t.taken [] in
+  Hashtbl.reset t.taken;
+  List.iter
+    (fun op ->
+      Hashtbl.replace t.seen (Operation.key op) In_pool;
+      Queue.push op t.queue)
+    ops
+
+let snapshot t =
+  Queue.fold
+    (fun acc op ->
+      match Hashtbl.find_opt t.seen (Operation.key op) with
+      | Some In_pool -> op :: acc
+      | Some Taken | Some Committed | None -> acc)
+    [] t.queue
+  |> List.rev

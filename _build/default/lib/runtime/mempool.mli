@@ -1,0 +1,32 @@
+(** A replica's pool of pending client operations.
+
+    FIFO with deduplication: an operation enters once, and operations seen
+    committed never re-enter (clients may resubmit after view changes). *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> Marlin_types.Operation.t -> bool
+(** [true] if the operation is new (not pending, not already committed). *)
+
+val take : t -> max:int -> Marlin_types.Operation.t list
+(** Dequeue up to [max] operations. *)
+
+val mark_committed : t -> Marlin_types.Operation.t list -> unit
+(** Remove committed operations and remember their keys. *)
+
+val pending : t -> int
+
+val is_committed : t -> Marlin_types.Operation.t -> bool
+(** Has this operation's key been seen committed here? (Drives re-replies
+    to retransmitting clients.) *)
+
+val snapshot : t -> Marlin_types.Operation.t list
+(** The operations currently in the pool (not taken, not committed), FIFO
+    order, without removing them — used to re-relay to a new leader. *)
+
+val requeue_taken : t -> unit
+(** Return every taken-but-uncommitted operation to the pool. Called on
+    view changes: operations batched into blocks that the old view
+    orphaned must be re-proposed, or their clients never hear back. *)

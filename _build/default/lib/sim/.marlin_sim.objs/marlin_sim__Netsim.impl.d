@@ -1,0 +1,1 @@
+lib/sim/netsim.ml: Array Float Marlin_types Rng Sim

@@ -1,0 +1,1 @@
+lib/sim/netsim.mli: Marlin_types Rng Sim

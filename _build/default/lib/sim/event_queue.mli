@@ -1,0 +1,13 @@
+(** A min-heap of timestamped events. Ties break by insertion order, which
+    keeps simulations deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val push : 'a t -> time:float -> 'a -> unit
+val pop : 'a t -> (float * 'a) option
+(** The earliest event, or [None] when empty. *)
+
+val peek_time : 'a t -> float option
+val length : 'a t -> int
+val is_empty : 'a t -> bool

@@ -1,0 +1,93 @@
+type config = {
+  latency : float;
+  jitter : float;
+  bandwidth_bps : float;
+  gst : float;
+  pre_gst_extra : float;
+}
+
+let default_config =
+  {
+    latency = 0.040;
+    jitter = 0.001;
+    bandwidth_bps = 200e6;
+    gst = 0.;
+    pre_gst_extra = 0.;
+  }
+
+type stats = { messages : int; bytes : int; authenticators : int }
+
+type t = {
+  sim : Sim.t;
+  rng : Rng.t;
+  config : config;
+  handlers : (src:int -> Marlin_types.Message.t -> unit) option array;
+  nic_free : float array; (* uplink FIFO: time each endpoint's NIC frees up *)
+  crashed : bool array;
+  mutable link_filter :
+    (src:int -> dst:int -> Marlin_types.Message.t -> bool) option;
+  mutable meter :
+    (src:int -> dst:int -> size:int -> Marlin_types.Message.t -> unit) option;
+  mutable stats : stats;
+}
+
+let create sim rng config ~endpoints =
+  {
+    sim;
+    rng;
+    config;
+    handlers = Array.make endpoints None;
+    nic_free = Array.make endpoints 0.;
+    crashed = Array.make endpoints false;
+    link_filter = None;
+    meter = None;
+    stats = { messages = 0; bytes = 0; authenticators = 0 };
+  }
+
+let register t ~id handler = t.handlers.(id) <- Some handler
+
+let deliver t ~src ~dst msg =
+  if not t.crashed.(dst) then
+    match t.handlers.(dst) with
+    | Some handler -> handler ~src msg
+    | None -> ()
+
+let send t ?earliest ~src ~dst ~size msg =
+  let now = Sim.now t.sim in
+  let earliest = match earliest with None -> now | Some e -> Float.max e now in
+  if not t.crashed.(src) then
+    let allowed =
+      match t.link_filter with None -> true | Some f -> f ~src ~dst msg
+    in
+    if allowed then begin
+      t.stats <-
+        {
+          messages = t.stats.messages + 1;
+          bytes = t.stats.bytes + size;
+          authenticators =
+            t.stats.authenticators + Marlin_types.Message.authenticators msg;
+        };
+      (match t.meter with Some f -> f ~src ~dst ~size msg | None -> ());
+      if src = dst then
+        Sim.schedule_at t.sim ~time:earliest (fun () -> deliver t ~src ~dst msg)
+      else begin
+        let depart = Float.max earliest t.nic_free.(src) in
+        (* x /. infinity = 0., so an unbounded uplink costs nothing. *)
+        let tx = float_of_int (8 * size) /. t.config.bandwidth_bps in
+        t.nic_free.(src) <- depart +. tx;
+        let jitter = Rng.float t.rng t.config.jitter in
+        let pre_gst =
+          if depart < t.config.gst then Rng.float t.rng t.config.pre_gst_extra
+          else 0.
+        in
+        let arrival = depart +. tx +. t.config.latency +. jitter +. pre_gst in
+        Sim.schedule_at t.sim ~time:arrival (fun () -> deliver t ~src ~dst msg)
+      end
+    end
+
+let crash t id = t.crashed.(id) <- true
+let is_crashed t id = t.crashed.(id)
+let set_link_filter t f = t.link_filter <- f
+let on_send t f = t.meter <- f
+let stats t = t.stats
+let reset_stats t = t.stats <- { messages = 0; bytes = 0; authenticators = 0 }

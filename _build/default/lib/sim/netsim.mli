@@ -1,0 +1,60 @@
+(** The simulated network.
+
+    Models the paper's testbed: every endpoint (replica or client) has a
+    finite-rate uplink (200 Mbps in the evaluation) modelled as a FIFO
+    transmission queue, plus a propagation delay per message (the injected
+    40 ms) with optional jitter. Partial synchrony is modelled by an extra,
+    randomly drawn delay applied to messages sent before GST.
+
+    Endpoints can crash (silently stop sending and receiving) and links can
+    be filtered (partitions, targeted drops) — enough to express every
+    fault scenario in the paper's evaluation plus the adversarial schedules
+    of Figure 2. *)
+
+type config = {
+  latency : float;  (** one-way propagation delay, seconds *)
+  jitter : float;  (** uniform extra delay in [0, jitter) *)
+  bandwidth_bps : float;  (** per-endpoint uplink rate; [infinity] allowed *)
+  gst : float;  (** global stabilization time *)
+  pre_gst_extra : float;  (** max extra delay for pre-GST sends *)
+}
+
+val default_config : config
+(** The paper's testbed: 40 ms latency, 200 Mbps, 1 ms jitter, GST = 0. *)
+
+type t
+
+val create : Sim.t -> Rng.t -> config -> endpoints:int -> t
+
+val register :
+  t -> id:int -> (src:int -> Marlin_types.Message.t -> unit) -> unit
+(** Install endpoint [id]'s delivery handler. *)
+
+val send :
+  t -> ?earliest:float -> src:int -> dst:int -> size:int ->
+  Marlin_types.Message.t -> unit
+(** Queue a message. [size] is the wire size in bytes (the caller computes
+    it via [Message.wire_size] so the signature scheme's footprint is
+    honoured). [earliest] lets callers model CPU time: the message cannot
+    depart before that instant. Sends to self deliver with no network cost
+    (after [earliest]). *)
+
+val crash : t -> int -> unit
+(** Endpoint stops sending and receiving, permanently, from now on. *)
+
+val is_crashed : t -> int -> bool
+
+val set_link_filter :
+  t -> (src:int -> dst:int -> Marlin_types.Message.t -> bool) option -> unit
+(** When set, messages for which the filter returns [false] are dropped at
+    send time. *)
+
+val on_send :
+  t -> (src:int -> dst:int -> size:int -> Marlin_types.Message.t -> unit) option -> unit
+(** Metering hook, called for every accepted send (before delivery). *)
+
+(** Aggregate counters since creation. *)
+type stats = { messages : int; bytes : int; authenticators : int }
+
+val stats : t -> stats
+val reset_stats : t -> unit

@@ -1,0 +1,31 @@
+type t = { mutable now : float; queue : (unit -> unit) Event_queue.t }
+
+let create () = { now = 0.; queue = Event_queue.create () }
+let now t = t.now
+
+let schedule_at t ~time thunk =
+  Event_queue.push t.queue ~time:(Float.max time t.now) thunk
+
+let schedule_in t ~delay thunk = schedule_at t ~time:(t.now +. delay) thunk
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, thunk) ->
+      t.now <- Float.max t.now time;
+      thunk ();
+      true
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some limit ->
+      let continue = ref true in
+      while !continue do
+        match Event_queue.peek_time t.queue with
+        | Some time when time <= limit -> ignore (step t)
+        | Some _ | None -> continue := false
+      done;
+      t.now <- Float.max t.now limit
+
+let pending t = Event_queue.length t.queue

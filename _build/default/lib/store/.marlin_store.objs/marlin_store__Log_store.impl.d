@@ -1,0 +1,1 @@
+lib/store/log_store.ml: Char Hashtbl List Marlin_types String Sys Unix Wire

@@ -1,0 +1,1 @@
+lib/store/log_store.mli: Store_intf

@@ -1,0 +1,1 @@
+lib/store/mem_store.mli: Store_intf

@@ -1,0 +1,1 @@
+lib/store/sim_disk.mli:

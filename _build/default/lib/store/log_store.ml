@@ -1,0 +1,162 @@
+open Marlin_types
+
+type t = {
+  path : string;
+  mutable chan : out_channel;
+  index : (string, string) Hashtbl.t;
+  mutable live_bytes : int;
+  mutable total_bytes : int;
+}
+
+(* FNV-1a over the record body; catches torn or corrupted tails. *)
+let checksum s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x01000193 land 0xFFFFFFFF)
+    s;
+  !h
+
+let encode_record ~key ~value =
+  let enc = Wire.Enc.create ~size:(String.length key + 64) () in
+  (match value with
+  | Some v ->
+      Wire.Enc.u8 enc 1;
+      Wire.Enc.bytes enc key;
+      Wire.Enc.bytes enc v
+  | None ->
+      Wire.Enc.u8 enc 0;
+      Wire.Enc.bytes enc key);
+  let body = Wire.Enc.contents enc in
+  let framed = Wire.Enc.create ~size:(String.length body + 8) () in
+  Wire.Enc.u32 framed (String.length body);
+  Wire.Enc.u32 framed (checksum body);
+  Wire.Enc.raw framed body;
+  Wire.Enc.contents framed
+
+(* Replay the log into [index]; returns bytes consumed (a torn tail is cut
+   off at the last whole, checksum-valid record). *)
+let replay path index =
+  if not (Sys.file_exists path) then 0
+  else begin
+    let ic = open_in_bin path in
+    let file_len = in_channel_length ic in
+    let consumed = ref 0 in
+    (try
+       while !consumed + 8 <= file_len do
+         let header = really_input_string ic 8 in
+         let hd = Wire.Dec.of_string header in
+         let body_len = Wire.Dec.u32 hd in
+         let crc = Wire.Dec.u32 hd in
+         if !consumed + 8 + body_len > file_len then raise Exit;
+         let body = really_input_string ic body_len in
+         if checksum body <> crc then raise Exit;
+         let dec = Wire.Dec.of_string body in
+         (match Wire.Dec.u8 dec with
+         | 1 ->
+             let key = Wire.Dec.bytes dec in
+             let value = Wire.Dec.bytes dec in
+             Hashtbl.replace index key value
+         | 0 ->
+             let key = Wire.Dec.bytes dec in
+             Hashtbl.remove index key
+         | _ -> raise Exit);
+         consumed := !consumed + 8 + body_len
+       done
+     with Exit | End_of_file | Wire.Dec.Decode_error _ -> ());
+    close_in ic;
+    !consumed
+  end
+
+let compute_live_bytes index =
+  Hashtbl.fold
+    (fun key value acc -> acc + String.length (encode_record ~key ~value:(Some value)))
+    index 0
+
+let open_ ~path =
+  let index = Hashtbl.create 64 in
+  let valid = replay path index in
+  (* Truncate any torn tail so appends continue from a clean point. *)
+  let chan =
+    if Sys.file_exists path && valid < (Unix.stat path).Unix.st_size then begin
+      let tmp = open_out_gen [ Open_wronly ] 0o644 path in
+      close_out tmp;
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+      Unix.ftruncate fd valid;
+      Unix.close fd;
+      open_out_gen [ Open_append; Open_binary ] 0o644 path
+    end
+    else open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path
+  in
+  { path; chan; index; live_bytes = compute_live_bytes index; total_bytes = valid }
+
+let append t record =
+  output_string t.chan record;
+  t.total_bytes <- t.total_bytes + String.length record
+
+let put t ~key ~value =
+  (match Hashtbl.find_opt t.index key with
+  | Some old ->
+      t.live_bytes <-
+        t.live_bytes - String.length (encode_record ~key ~value:(Some old))
+  | None -> ());
+  let record = encode_record ~key ~value:(Some value) in
+  append t record;
+  Hashtbl.replace t.index key value;
+  t.live_bytes <- t.live_bytes + String.length record
+
+let get t ~key = Hashtbl.find_opt t.index key
+
+let delete t ~key =
+  match Hashtbl.find_opt t.index key with
+  | None -> ()
+  | Some old ->
+      t.live_bytes <-
+        t.live_bytes - String.length (encode_record ~key ~value:(Some old));
+      append t (encode_record ~key ~value:None);
+      Hashtbl.remove t.index key
+
+let write_batch t entries =
+  List.iter
+    (fun (key, value) ->
+      match value with
+      | Some value -> put t ~key ~value
+      | None -> delete t ~key)
+    entries;
+  flush t.chan
+
+let iter t f = Hashtbl.iter (fun key value -> f ~key ~value) t.index
+let entry_count t = Hashtbl.length t.index
+let flush t = flush t.chan
+
+let compact t =
+  flush t;
+  let tmp_path = t.path ^ ".compact" in
+  let tmp = open_out_gen [ Open_trunc; Open_creat; Open_wronly; Open_binary ] 0o644 tmp_path in
+  let written = ref 0 in
+  Hashtbl.iter
+    (fun key value ->
+      let record = encode_record ~key ~value:(Some value) in
+      output_string tmp record;
+      written := !written + String.length record)
+    t.index;
+  close_out tmp;
+  close_out t.chan;
+  Sys.rename tmp_path t.path;
+  t.chan <- open_out_gen [ Open_append; Open_binary ] 0o644 t.path;
+  t.total_bytes <- !written;
+  t.live_bytes <- !written
+
+let live_bytes t = t.live_bytes
+let dead_bytes t = t.total_bytes - t.live_bytes
+
+let maybe_compact t =
+  if dead_bytes t > live_bytes t && t.total_bytes > 64 * 1024 then begin
+    compact t;
+    true
+  end
+  else false
+
+let path t = t.path
+let close t = close_out t.chan

@@ -1,0 +1,25 @@
+(** A log-structured, file-backed key-value store — the repository's
+    LevelDB stand-in for code that runs outside the simulator.
+
+    Writes append records to a single log file; an in-memory index maps
+    each live key to its latest value. Records carry a checksum, and
+    recovery tolerates a torn tail (the crash-consistency property the
+    tests exercise). When dead bytes dominate, {!compact} rewrites the log
+    with only live entries — the equivalent of LevelDB's background
+    compaction, and the cost the simulator's {!Sim_disk} charges for. *)
+
+include Store_intf.S
+
+val open_ : path:string -> t
+(** Open (or create) the store at [path], replaying the log. *)
+
+val compact : t -> unit
+(** Rewrite the log to contain only live entries (atomic via rename). *)
+
+val maybe_compact : t -> bool
+(** Compact if dead bytes exceed live bytes and the log passed 64 KiB;
+    returns whether a compaction ran. *)
+
+val live_bytes : t -> int
+val dead_bytes : t -> int
+val path : t -> string

@@ -1,0 +1,19 @@
+type t = (string, string) Hashtbl.t
+
+let create () = Hashtbl.create 64
+let put t ~key ~value = Hashtbl.replace t key value
+let get t ~key = Hashtbl.find_opt t key
+let delete t ~key = Hashtbl.remove t key
+
+let write_batch t entries =
+  List.iter
+    (fun (key, value) ->
+      match value with
+      | Some value -> put t ~key ~value
+      | None -> delete t ~key)
+    entries
+
+let iter t f = Hashtbl.iter (fun key value -> f ~key ~value) t
+let entry_count t = Hashtbl.length t
+let flush _ = ()
+let close _ = ()

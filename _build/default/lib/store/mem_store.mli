@@ -1,0 +1,6 @@
+(** Hashtable-backed store; the baseline every other store is tested
+    against. *)
+
+include Store_intf.S
+
+val create : unit -> t

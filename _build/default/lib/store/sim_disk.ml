@@ -1,0 +1,36 @@
+type config = {
+  write_bandwidth : float;
+  write_overhead : float;
+  checkpoint_interval : int;
+  checkpoint_cost : float;
+}
+
+(* ~400 MB/s sequential writes (datacenter SSD), 20us per batched write,
+   checkpoint every 5000 blocks costing ~50ms — magnitudes consistent with
+   LevelDB compaction stalls. *)
+let default_config =
+  {
+    write_bandwidth = 4e8;
+    write_overhead = 20e-6;
+    checkpoint_interval = 5000;
+    checkpoint_cost = 0.050;
+  }
+
+type t = { config : config; mutable blocks : int; mutable checkpoints : int }
+
+let create config = { config; blocks = 0; checkpoints = 0 }
+
+let commit_cost t ~bytes =
+  t.blocks <- t.blocks + 1;
+  let base =
+    t.config.write_overhead +. (float_of_int bytes /. t.config.write_bandwidth)
+  in
+  if t.config.checkpoint_interval > 0 && t.blocks mod t.config.checkpoint_interval = 0
+  then begin
+    t.checkpoints <- t.checkpoints + 1;
+    base +. t.config.checkpoint_cost
+  end
+  else base
+
+let blocks_written t = t.blocks
+let checkpoints_run t = t.checkpoints

@@ -1,0 +1,20 @@
+(** Common signature of the key-value stores the replicas execute against.
+    The paper's implementation writes committed state into LevelDB;
+    {!Log_store} is the file-backed equivalent here and {!Mem_store} the
+    in-memory one. *)
+
+module type S = sig
+  type t
+
+  val put : t -> key:string -> value:string -> unit
+  val get : t -> key:string -> string option
+  val delete : t -> key:string -> unit
+
+  val write_batch : t -> (string * string option) list -> unit
+  (** Atomically apply puts ([Some value]) and deletes ([None]). *)
+
+  val iter : t -> (key:string -> value:string -> unit) -> unit
+  val entry_count : t -> int
+  val flush : t -> unit
+  val close : t -> unit
+end

@@ -1,0 +1,1 @@
+lib/types/batch.ml: Array Format Marlin_crypto Operation Wire

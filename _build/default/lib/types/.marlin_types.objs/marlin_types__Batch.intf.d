@@ -1,0 +1,1 @@
+lib/types/batch.mli: Format Marlin_crypto Operation Wire

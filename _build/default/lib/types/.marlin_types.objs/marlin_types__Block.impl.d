@@ -1,0 +1,1 @@
+lib/types/block.ml: Batch Format Marlin_crypto Printf Qc Sha256 Wire

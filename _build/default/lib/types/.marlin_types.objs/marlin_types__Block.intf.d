@@ -1,0 +1,1 @@
+lib/types/block.mli: Batch Format Marlin_crypto Qc Wire

@@ -1,0 +1,1 @@
+lib/types/block_store.ml: Block Format Hashtbl List Marlin_crypto Sha256

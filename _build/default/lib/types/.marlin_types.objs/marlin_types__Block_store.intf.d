@@ -1,0 +1,1 @@
+lib/types/block_store.mli: Block Format Marlin_crypto

@@ -1,0 +1,1 @@
+lib/types/high_qc.ml: Block Format Printf Qc Rank Wire

@@ -1,0 +1,1 @@
+lib/types/high_qc.mli: Block Format Qc Wire

@@ -1,0 +1,1 @@
+lib/types/message.ml: Batch Block Format High_qc List Marlin_crypto Operation Printf Qc Sha256 Threshold Wire

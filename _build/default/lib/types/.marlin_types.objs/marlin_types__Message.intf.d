@@ -1,0 +1,1 @@
+lib/types/message.mli: Block Format High_qc Marlin_crypto Operation Qc Wire

@@ -1,0 +1,1 @@
+lib/types/operation.ml: Format String Wire

@@ -1,0 +1,1 @@
+lib/types/operation.mli: Format Wire

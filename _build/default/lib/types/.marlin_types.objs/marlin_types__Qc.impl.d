@@ -1,0 +1,1 @@
+lib/types/qc.ml: Format List Marlin_crypto Printf Sha256 Threshold Wire

@@ -1,0 +1,1 @@
+lib/types/qc.mli: Format Marlin_crypto Wire

@@ -1,0 +1,1 @@
+lib/types/rank.ml: Block Format Int Qc

@@ -1,0 +1,1 @@
+lib/types/rank.mli: Block Format Qc

@@ -1,0 +1,41 @@
+type t = {
+  ops : Operation.t array;
+  mutable cached_digest : Marlin_crypto.Sha256.t option;
+}
+
+let empty = { ops = [||]; cached_digest = None }
+let of_list ops = { ops = Array.of_list ops; cached_digest = None }
+let to_list b = Array.to_list b.ops
+let length b = Array.length b.ops
+let is_empty b = Array.length b.ops = 0
+
+let encode enc b =
+  Wire.Enc.varint enc (Array.length b.ops);
+  Array.iter (Operation.encode enc) b.ops
+
+let decode dec =
+  let n = Wire.Dec.varint dec in
+  let ops = Array.init n (fun _ -> Operation.decode dec) in
+  { ops; cached_digest = None }
+
+let wire_size b =
+  Array.fold_left
+    (fun acc op -> acc + Operation.wire_size op)
+    (Wire.varint_size (Array.length b.ops))
+    b.ops
+
+let digest b =
+  match b.cached_digest with
+  | Some d -> d
+  | None ->
+      let enc = Wire.Enc.create ~size:(wire_size b + 8) () in
+      encode enc b;
+      let d = Marlin_crypto.Sha256.string (Wire.Enc.contents enc) in
+      b.cached_digest <- Some d;
+      d
+
+let equal a b =
+  Array.length a.ops = Array.length b.ops
+  && Array.for_all2 Operation.equal a.ops b.ops
+
+let pp fmt b = Format.fprintf fmt "batch(%d ops)" (Array.length b.ops)

@@ -1,0 +1,17 @@
+(** A batch of client operations — the [op] field of a block. *)
+
+type t
+
+val empty : t
+val of_list : Operation.t list -> t
+val to_list : t -> Operation.t list
+val length : t -> int
+val is_empty : t -> bool
+val digest : t -> Marlin_crypto.Sha256.t
+(** Digest over the batch's canonical encoding; cached. *)
+
+val encode : Wire.Enc.t -> t -> unit
+val decode : Wire.Dec.t -> t
+val wire_size : t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,47 @@
+type t = Single of Qc.t | Paired of Qc.t * Qc.t
+
+let genesis = Single Qc.genesis
+let primary = function Single qc | Paired (qc, _) -> qc
+
+let to_justify = function
+  | Single qc -> Block.J_qc qc
+  | Paired (qc, vc) -> Block.J_paired (qc, vc)
+
+let of_justify = function
+  | Block.J_genesis -> None
+  | Block.J_qc qc -> Some (Single qc)
+  | Block.J_paired (qc, vc) -> Some (Paired (qc, vc))
+
+let equal a b =
+  match (a, b) with
+  | Single x, Single y -> Qc.equal x y
+  | Paired (x1, x2), Paired (y1, y2) -> Qc.equal x1 y1 && Qc.equal x2 y2
+  | (Single _ | Paired _), _ -> false
+
+let max_by_rank a b = if Rank.qc_gt (primary b) (primary a) then b else a
+
+let encode enc = function
+  | Single qc ->
+      Wire.Enc.u8 enc 0;
+      Qc.encode enc qc
+  | Paired (qc, vc) ->
+      Wire.Enc.u8 enc 1;
+      Qc.encode enc qc;
+      Qc.encode enc vc
+
+let decode dec =
+  match Wire.Dec.u8 dec with
+  | 0 -> Single (Qc.decode dec)
+  | 1 ->
+      let qc = Qc.decode dec in
+      let vc = Qc.decode dec in
+      Paired (qc, vc)
+  | v -> raise (Wire.Dec.Decode_error (Printf.sprintf "bad high_qc tag %d" v))
+
+let wire_size ~sig_bytes = function
+  | Single qc -> 1 + Qc.wire_size ~sig_bytes qc
+  | Paired (qc, vc) -> 1 + Qc.wire_size ~sig_bytes qc + Qc.wire_size ~sig_bytes vc
+
+let pp fmt = function
+  | Single qc -> Qc.pp fmt qc
+  | Paired (qc, vc) -> Format.fprintf fmt "(%a, %a)" Qc.pp qc Qc.pp vc

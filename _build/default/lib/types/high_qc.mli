@@ -1,0 +1,34 @@
+(** The [highQC] a replica advertises in VIEW-CHANGE messages and a leader
+    ships in PREPARE justifies.
+
+    Usually a single QC. After an unhappy view change that certified a
+    {e virtual} block, it is the paper's pair [(qc, vc)]: the pre-prepareQC
+    [qc] for the virtual block together with the prepareQC [vc] for the
+    virtual block's (now known) parent, which is what lets anyone validate
+    the virtual block. *)
+
+type t =
+  | Single of Qc.t
+  | Paired of Qc.t * Qc.t
+      (** [(qc, vc)]: pre-prepareQC for a virtual block, prepareQC for its
+          parent. *)
+
+val genesis : t
+(** [Single Qc.genesis] — every replica's initial highQC. *)
+
+val primary : t -> Qc.t
+(** The rank-determining QC ([qc] for a pair: it was formed in a later view
+    than [vc]). *)
+
+val to_justify : t -> Block.justify
+val of_justify : Block.justify -> t option
+(** [None] for [J_genesis]. *)
+
+val equal : t -> t -> bool
+val max_by_rank : t -> t -> t
+(** Higher {!primary} rank wins; the left argument on ties. *)
+
+val encode : Wire.Enc.t -> t -> unit
+val decode : Wire.Dec.t -> t
+val wire_size : sig_bytes:int -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,37 @@
+type ord = Lt | Eq | Gt
+
+let of_int_cmp c = if c < 0 then Lt else if c > 0 then Gt else Eq
+
+let phase_class (p : Qc.phase) =
+  match p with
+  | Qc.Pre_prepare -> 0
+  | Qc.Prepare | Qc.Precommit | Qc.Commit -> 1
+
+let qc (a : Qc.t) (b : Qc.t) =
+  match of_int_cmp (Int.compare a.Qc.view b.Qc.view) with
+  | (Lt | Gt) as o -> o
+  | Eq -> (
+      match of_int_cmp (Int.compare (phase_class a.phase) (phase_class b.phase)) with
+      | (Lt | Gt) as o -> o
+      | Eq ->
+          if phase_class a.phase = 1 then
+            of_int_cmp (Int.compare a.block.Qc.height b.block.Qc.height)
+          else Eq)
+
+let qc_gt a b = qc a b = Gt
+let qc_geq a b = match qc a b with Gt | Eq -> true | Lt -> false
+let max_qc a b = if qc b a = Gt then b else a
+
+let block (b1 : Block.summary) (b2 : Block.summary) =
+  let strictly_above x y =
+    x.Block.b_ref.Qc.block_view > y.Block.b_ref.Qc.block_view
+    || (x.Block.b_ref.Qc.block_view = y.Block.b_ref.Qc.block_view
+       && x.Block.b_ref.Qc.height > y.Block.b_ref.Qc.height
+       && x.Block.justify_current)
+  in
+  if strictly_above b1 b2 then Gt else if strictly_above b2 b1 then Lt else Eq
+
+let block_gt b1 b2 = block b1 b2 = Gt
+
+let pp_ord fmt o =
+  Format.pp_print_string fmt (match o with Lt -> "<" | Eq -> "=" | Gt -> ">")

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Float Gen List Marlin_analysis Marlin_crypto QCheck QCheck_alcotest String Test

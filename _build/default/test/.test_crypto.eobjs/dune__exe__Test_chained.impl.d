@@ -1,0 +1,1 @@
+test/test_chained.ml: Alcotest Batch Block Block_store High_qc List Marlin_core Marlin_types Message Operation Printf Qc Test_support

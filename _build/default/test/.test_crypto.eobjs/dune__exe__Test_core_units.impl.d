@@ -1,0 +1,1 @@
+test/test_core_units.ml: Alcotest Batch Block Block_store List Marlin_core Marlin_crypto Marlin_types Message Operation Printf Qc String

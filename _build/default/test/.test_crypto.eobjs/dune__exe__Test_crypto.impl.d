@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Char Cost_model Gen Hmac Keychain List Marlin_crypto QCheck QCheck_alcotest Sha256 Signature String Test Threshold

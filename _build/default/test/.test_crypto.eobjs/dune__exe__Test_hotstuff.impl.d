@@ -1,0 +1,1 @@
+test/test_hotstuff.ml: Alcotest List Marlin_core Marlin_types Message Operation Printf Test_support

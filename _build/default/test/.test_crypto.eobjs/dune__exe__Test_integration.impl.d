@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Float List Marlin_analysis Marlin_core Marlin_runtime Marlin_sim

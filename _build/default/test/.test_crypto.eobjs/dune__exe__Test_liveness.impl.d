@@ -1,0 +1,1 @@
+test/test_liveness.ml: Alcotest Block Block_store High_qc List Marlin_core Marlin_types Message Operation Test_support

@@ -1,0 +1,1 @@
+test/test_marlin.ml: Alcotest Block Block_store High_qc List Marlin_core Marlin_types Message Operation Printf String Test_support

@@ -1,0 +1,1 @@
+test/test_marlin_v3.ml: Alcotest Batch Block Block_store Hashtbl High_qc List Marlin_core Marlin_crypto Marlin_types Message Operation Option Printf Rank Test_support

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest List Marlin_analysis Marlin_core Marlin_runtime Marlin_types Operation

@@ -1,0 +1,1 @@
+test/test_schedules.ml: Alcotest Fun List Marlin_core Marlin_types Message Operation Printf QCheck QCheck_alcotest String Test_support

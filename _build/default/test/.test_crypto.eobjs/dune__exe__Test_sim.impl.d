@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Event_queue Float Gen List Marlin_sim Marlin_types Message Netsim QCheck QCheck_alcotest Rng Sim Test

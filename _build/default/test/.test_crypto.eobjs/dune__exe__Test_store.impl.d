@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Filename Fun Gen List Log_store Marlin_store Mem_store Printf QCheck QCheck_alcotest Sim_disk String Sys Test

@@ -1,0 +1,1 @@
+test/test_types.ml: Alcotest Batch Block Block_store Bytes Char Format Gen High_qc List Marlin_crypto Marlin_types Message Operation Printf QCheck QCheck_alcotest Qc Rank String Test Wire

@@ -1,0 +1,1 @@
+test/support/harness.ml: Array Batch Block Block_store Hashtbl List Marlin_core Marlin_crypto Marlin_types Message Operation Printf Queue

@@ -1,0 +1,134 @@
+(* Tests for the analysis library: descriptive statistics and the Table I
+   complexity model. *)
+
+module Stats = Marlin_analysis.Stats
+module Complexity = Marlin_analysis.Complexity
+module Cost_model = Marlin_crypto.Cost_model
+
+let feq = Alcotest.check (Alcotest.float 1e-9)
+
+(* ---------- stats ---------- *)
+
+let test_mean_and_stddev () =
+  feq "mean" 3.0 (Stats.mean [ 1.; 2.; 3.; 4.; 5. ]);
+  feq "mean empty" 0.0 (Stats.mean []);
+  feq "stddev of constant" 0.0 (Stats.stddev [ 4.; 4.; 4. ]);
+  feq "stddev known" 2.0 (Stats.stddev [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ] *. sqrt (7. /. 8.));
+  feq "stddev singleton" 0.0 (Stats.stddev [ 42. ])
+
+let test_percentiles () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  feq "p50" 50.0 (Stats.percentile xs ~p:50.);
+  feq "p95" 95.0 (Stats.percentile xs ~p:95.);
+  feq "p99" 99.0 (Stats.percentile xs ~p:99.);
+  feq "p100 = max" 100.0 (Stats.percentile xs ~p:100.);
+  feq "unsorted input" 50.0 (Stats.percentile (List.rev xs) ~p:50.);
+  feq "empty" 0.0 (Stats.percentile [] ~p:50.);
+  feq "median alias" (Stats.percentile xs ~p:50.) (Stats.median xs)
+
+let test_min_max_summary () =
+  let xs = [ 3.; 1.; 4.; 1.; 5.; 9.; 2.; 6. ] in
+  feq "min" 1.0 (Stats.minimum xs);
+  feq "max" 9.0 (Stats.maximum xs);
+  let s = Stats.summarize xs in
+  Alcotest.(check int) "count" 8 s.Stats.count;
+  feq "summary mean" (Stats.mean xs) s.Stats.mean;
+  feq "summary p95 between p50 and max" s.Stats.p95
+    (Stats.percentile xs ~p:95.);
+  Alcotest.(check bool) "ordering" true
+    (s.Stats.min <= s.Stats.p50 && s.Stats.p50 <= s.Stats.p95
+    && s.Stats.p95 <= s.Stats.max)
+
+(* ---------- complexity (Table I) ---------- *)
+
+let eval p n = Complexity.evaluate p ~n ~u:(1 lsl 20) ~c:1024 ~lambda:256
+
+let test_linear_vs_quadratic_communication () =
+  let growth p =
+    (eval p 100).Complexity.communication_bits
+    /. (eval p 10).Complexity.communication_bits
+  in
+  (* 10x replicas: linear protocols grow ~10x, quadratic ~100x *)
+  Alcotest.(check bool) "HotStuff linear" true (growth Complexity.Hotstuff < 15.);
+  Alcotest.(check bool) "Marlin linear" true (growth Complexity.Marlin < 15.);
+  Alcotest.(check bool) "Jolteon quadratic" true (growth Complexity.Jolteon > 80.);
+  Alcotest.(check bool) "Fast-HotStuff quadratic" true
+    (growth Complexity.Fast_hotstuff > 80.);
+  Alcotest.(check bool) "Wendy in between (n^2 log u term)" true
+    (growth Complexity.Wendy > 15. && growth Complexity.Wendy < 110.)
+
+let test_authenticator_complexity () =
+  List.iter
+    (fun (p, expected) ->
+      feq (Complexity.name p ^ " auths at n=10") expected
+        (eval p 10).Complexity.authenticators)
+    [
+      (Complexity.Hotstuff, 10.);
+      (Complexity.Marlin, 10.);
+      (Complexity.Jolteon, 100.);
+      (Complexity.Fast_hotstuff, 100.);
+      (Complexity.Wendy, 100.);
+    ]
+
+let test_phases () =
+  Alcotest.(check string) "HotStuff 3 phases" "3" (Complexity.vc_phases Complexity.Hotstuff);
+  Alcotest.(check string) "Jolteon 2" "2" (Complexity.vc_phases Complexity.Jolteon);
+  Alcotest.(check string) "Marlin 2 or 3" "2 or 3" (Complexity.vc_phases Complexity.Marlin);
+  Alcotest.(check string) "Wendy 2 or 3" "2 or 3" (Complexity.vc_phases Complexity.Wendy)
+
+let test_formulas_nonempty () =
+  List.iter
+    (fun p ->
+      let comm, crypto, auth = Complexity.formulas p in
+      Alcotest.(check bool)
+        (Complexity.name p ^ " formulas present")
+        true
+        (String.length comm > 0 && String.length crypto > 0 && String.length auth > 0))
+    Complexity.all
+
+let test_wendy_pays_pairings () =
+  (* the paper's point: even with conventional signatures elsewhere, Wendy's
+     view change pays O(n) pairings, which can make it slower than
+     HotStuff's — while Marlin never does. *)
+  let cost = Cost_model.ecdsa_group in
+  let w = Complexity.crypto_vc_seconds Complexity.Wendy ~n:31 ~cost in
+  let h = Complexity.crypto_vc_seconds Complexity.Hotstuff ~n:31 ~cost in
+  let m = Complexity.crypto_vc_seconds Complexity.Marlin ~n:31 ~cost in
+  Alcotest.(check bool) "Wendy slower than HotStuff" true (w > h);
+  Alcotest.(check bool) "Marlin no slower than HotStuff" true (m <= h +. 1e-12)
+
+let qcheck_cases =
+  let open QCheck in
+  [
+    Test.make ~count:200 ~name:"percentile is monotone in p"
+      (pair (list_of_size Gen.(1 -- 50) (float_bound_inclusive 1000.))
+         (pair (float_bound_inclusive 100.) (float_bound_inclusive 100.)))
+      (fun (xs, (p1, p2)) ->
+        let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+        Stats.percentile xs ~p:lo <= Stats.percentile xs ~p:hi);
+    Test.make ~count:200 ~name:"mean within [min, max]"
+      (list_of_size Gen.(1 -- 50) (float_bound_inclusive 1000.))
+      (fun xs ->
+        let m = Stats.mean xs in
+        m >= Stats.minimum xs -. 1e-9 && m <= Stats.maximum xs +. 1e-9);
+    Test.make ~count:100 ~name:"communication monotone in n"
+      (pair (oneofl Complexity.all) (int_range 4 200))
+      (fun (p, n) ->
+        (eval p (n + 1)).Complexity.communication_bits
+        >= (eval p n).Complexity.communication_bits);
+  ]
+
+let suite =
+  [
+    ("mean & stddev", `Quick, test_mean_and_stddev);
+    ("percentiles", `Quick, test_percentiles);
+    ("min/max/summary", `Quick, test_min_max_summary);
+    ("linear vs quadratic vc communication", `Quick, test_linear_vs_quadratic_communication);
+    ("authenticator complexity", `Quick, test_authenticator_complexity);
+    ("phase counts", `Quick, test_phases);
+    ("formulas present", `Quick, test_formulas_nonempty);
+    ("Wendy pays pairings, Marlin does not", `Quick, test_wendy_pays_pairings);
+  ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_cases
+
+let () = Alcotest.run "analysis" [ ("analysis", suite) ]

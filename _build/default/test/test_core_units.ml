@@ -1,0 +1,241 @@
+(* Unit tests for the protocol-independent consensus machinery: the CPU
+   meter, the metered Auth wrapper, the vote collector, the pacemaker, and
+   the committer (commit ordering, fetch, held certificates). *)
+
+open Marlin_types
+module Core = Marlin_core
+module C = Core.Consensus_intf
+module Keychain = Marlin_crypto.Keychain
+module Cost_model = Marlin_crypto.Cost_model
+module Sha256 = Marlin_crypto.Sha256
+
+let kc = Keychain.create ~n:4 ()
+
+let cfg id =
+  {
+    C.id;
+    n = 4;
+    f = 1;
+    keychain = kc;
+    cost = Cost_model.ecdsa_group;
+    get_batch = (fun () -> Batch.empty);
+    has_pending = (fun () -> false);
+    base_timeout = 1.0;
+    max_timeout = 8.0;
+  }
+
+let auth ?(id = 0) () =
+  Core.Auth.create ~keychain:kc ~meter:(Core.Cpu_meter.create Cost_model.ecdsa_group)
+    ~quorum:3
+  |> fun a ->
+  ignore id;
+  a
+
+let block_ref ?(height = 1) ?(view = 1) () =
+  {
+    Qc.digest = Sha256.string (Printf.sprintf "blk-%d-%d" view height);
+    block_view = view;
+    height;
+    pview = 0;
+    is_virtual = false;
+  }
+
+let make_qc ?(phase = Qc.Prepare) ?(view = 1) block =
+  let partials =
+    List.init 3 (fun i -> Qc.sign_vote kc ~signer:i ~phase ~view block)
+  in
+  match Qc.combine kc ~threshold:3 ~phase ~view block partials with
+  | Ok qc -> qc
+  | Error e -> Alcotest.failf "combine: %s" e
+
+(* ---------- cpu meter ---------- *)
+
+let test_cpu_meter () =
+  let m = Core.Cpu_meter.create Cost_model.ecdsa_group in
+  Alcotest.(check (float 1e-12)) "empty take" 0. (Core.Cpu_meter.take m);
+  Core.Cpu_meter.charge_sign m;
+  Core.Cpu_meter.charge_verify m;
+  let pending = Core.Cpu_meter.take m in
+  Alcotest.(check (float 1e-12)) "sign+verify"
+    (Cost_model.sign_cost Cost_model.ecdsa_group
+    +. Cost_model.verify_cost Cost_model.ecdsa_group)
+    pending;
+  Alcotest.(check (float 1e-12)) "take resets" 0. (Core.Cpu_meter.take m);
+  Alcotest.(check (float 1e-12)) "total persists" pending (Core.Cpu_meter.total m);
+  Alcotest.(check int) "op count" 2 (Core.Cpu_meter.op_count m);
+  Core.Cpu_meter.charge m 0.5;
+  Alcotest.(check (float 1e-12)) "manual charge" 0.5 (Core.Cpu_meter.take m)
+
+(* ---------- auth ---------- *)
+
+let test_auth_verify_cache () =
+  let a = auth () in
+  let qc = make_qc (block_ref ()) in
+  let meter = Core.Auth.meter a in
+  let ops0 = Core.Cpu_meter.op_count meter in
+  Alcotest.(check bool) "verifies" true (Core.Auth.verify_qc a qc);
+  let ops1 = Core.Cpu_meter.op_count meter in
+  Alcotest.(check bool) "first verify charged" true (ops1 > ops0);
+  Alcotest.(check bool) "verifies again" true (Core.Auth.verify_qc a qc);
+  Alcotest.(check int) "cached verify is free" ops1 (Core.Cpu_meter.op_count meter);
+  Alcotest.(check bool) "genesis free" true (Core.Auth.verify_qc a Qc.genesis)
+
+(* ---------- vote collector ---------- *)
+
+let test_vote_collector_quorum () =
+  let a = auth () in
+  let vc = Core.Vote_collector.create a in
+  let b = block_ref () in
+  let vote i = Qc.sign_vote kc ~signer:i ~phase:Qc.Prepare ~view:1 b in
+  (match Core.Vote_collector.add vc ~phase:Qc.Prepare ~view:1 ~block:b (vote 0) with
+  | Core.Vote_collector.Counted 1 -> ()
+  | _ -> Alcotest.fail "expected Counted 1");
+  (match Core.Vote_collector.add vc ~phase:Qc.Prepare ~view:1 ~block:b (vote 0) with
+  | Core.Vote_collector.Rejected _ -> ()
+  | _ -> Alcotest.fail "duplicate must be rejected");
+  ignore (Core.Vote_collector.add vc ~phase:Qc.Prepare ~view:1 ~block:b (vote 1));
+  (match Core.Vote_collector.add vc ~phase:Qc.Prepare ~view:1 ~block:b (vote 2) with
+  | Core.Vote_collector.Quorum qc ->
+      Alcotest.(check bool) "qc verifies" true (Core.Auth.verify_qc a qc);
+      Alcotest.(check int) "qc view" 1 qc.Qc.view
+  | _ -> Alcotest.fail "expected quorum");
+  match Core.Vote_collector.add vc ~phase:Qc.Prepare ~view:1 ~block:b (vote 3) with
+  | Core.Vote_collector.Rejected _ -> ()
+  | _ -> Alcotest.fail "post-quorum votes rejected"
+
+let test_vote_collector_invalid_and_gc () =
+  let a = auth () in
+  let vc = Core.Vote_collector.create a in
+  let b = block_ref () in
+  (* a vote signed for a different block must not count *)
+  let wrong = Qc.sign_vote kc ~signer:0 ~phase:Qc.Prepare ~view:1 (block_ref ~height:9 ()) in
+  (match Core.Vote_collector.add vc ~phase:Qc.Prepare ~view:1 ~block:b wrong with
+  | Core.Vote_collector.Rejected _ -> ()
+  | _ -> Alcotest.fail "invalid signature accepted");
+  let vote i = Qc.sign_vote kc ~signer:i ~phase:Qc.Prepare ~view:1 b in
+  ignore (Core.Vote_collector.add vc ~phase:Qc.Prepare ~view:1 ~block:b (vote 0));
+  Alcotest.(check int) "count" 1
+    (Core.Vote_collector.count vc ~phase:Qc.Prepare ~view:1 ~digest:b.Qc.digest);
+  Core.Vote_collector.gc_below_view vc 2;
+  Alcotest.(check int) "gc clears old views" 0
+    (Core.Vote_collector.count vc ~phase:Qc.Prepare ~view:1 ~digest:b.Qc.digest)
+
+(* ---------- pacemaker ---------- *)
+
+let test_pacemaker_backoff () =
+  let pm = Core.Pacemaker.create ~base:1.0 ~max:8.0 in
+  Alcotest.(check (float 1e-9)) "base" 1.0 (Core.Pacemaker.current_timeout pm);
+  Core.Pacemaker.note_view_change pm;
+  Alcotest.(check (float 1e-9)) "doubles" 2.0 (Core.Pacemaker.current_timeout pm);
+  Core.Pacemaker.note_view_change pm;
+  Core.Pacemaker.note_view_change pm;
+  Alcotest.(check (float 1e-9)) "keeps doubling" 8.0 (Core.Pacemaker.current_timeout pm);
+  Core.Pacemaker.note_view_change pm;
+  Alcotest.(check (float 1e-9)) "capped" 8.0 (Core.Pacemaker.current_timeout pm);
+  Alcotest.(check int) "failures counted" 4 (Core.Pacemaker.consecutive_failures pm);
+  Core.Pacemaker.note_progress pm;
+  Alcotest.(check (float 1e-9)) "progress resets" 1.0 (Core.Pacemaker.current_timeout pm)
+
+(* ---------- committer ---------- *)
+
+let chain_of store ~len =
+  (* build a committed-qc chain genesis <- b1 <- ... <- blen *)
+  let rec go parent acc k =
+    if k = 0 then List.rev acc
+    else begin
+      let b =
+        Block.make_normal ~parent ~view:1
+          ~payload:(Batch.of_list [ Operation.make ~client:1 ~seq:k ~body:"" ])
+          ~justify:(Block.J_qc Qc.genesis)
+      in
+      Block_store.add store b;
+      go b (b :: acc) (k - 1)
+    end
+  in
+  go Block.genesis [] len
+
+let commit_qc b = make_qc ~phase:Qc.Commit (Block.to_ref b)
+
+let test_committer_in_order () =
+  let store = Block_store.create () in
+  let com = Core.Committer.create (cfg 1) store in
+  let chain = chain_of store ~len:3 in
+  let b3 = List.nth chain 2 in
+  let r = Core.Committer.deliver com ~view:1 (commit_qc b3) in
+  Alcotest.(check int) "three blocks commit in order" 3
+    (List.length r.Core.Committer.committed);
+  Alcotest.(check bool) "oldest first" true
+    (Block.equal (List.hd r.Core.Committer.committed) (List.hd chain));
+  Alcotest.(check int) "count" 3 (Core.Committer.committed_count com);
+  let again = Core.Committer.deliver com ~view:1 (commit_qc b3) in
+  Alcotest.(check int) "idempotent" 0 (List.length again.Core.Committer.committed)
+
+let test_committer_fetches_missing () =
+  let store = Block_store.create () in
+  let com = Core.Committer.create (cfg 1) store in
+  (* build the chain in a separate store; give the committer only b2 *)
+  let donor = Block_store.create () in
+  let chain = chain_of donor ~len:2 in
+  let b1 = List.nth chain 0 and b2 = List.nth chain 1 in
+  Block_store.add store b2;
+  let r = Core.Committer.deliver com ~view:1 (commit_qc b2) in
+  Alcotest.(check int) "nothing committed yet" 0 (List.length r.Core.Committer.committed);
+  (match r.Core.Committer.sends with
+  | [ C.Send { dst; msg = { Message.payload = Message.Fetch { digest }; _ } } ] ->
+      Alcotest.(check bool) "fetches the missing parent" true
+        (Sha256.equal digest (Block.digest b1));
+      Alcotest.(check bool) "from the view's leader" true (dst = 1 || dst < 4)
+  | _ -> Alcotest.fail "expected one fetch");
+  (* a second certificate re-issues the fetch (lost requests must retry) *)
+  let r2 = Core.Committer.deliver com ~view:1 (commit_qc b2) in
+  Alcotest.(check bool) "fetch retried" true (List.length r2.Core.Committer.sends > 0);
+  (* the body arrives: the held certificate completes *)
+  let r3 = Core.Committer.note_block com b1 in
+  Alcotest.(check int) "both blocks commit" 2 (List.length r3.Core.Committer.committed)
+
+let test_committer_conflict_is_fatal () =
+  let store = Block_store.create () in
+  let com = Core.Committer.create (cfg 1) store in
+  let chain = chain_of store ~len:2 in
+  ignore (Core.Committer.deliver com ~view:1 (commit_qc (List.nth chain 1)));
+  (* a conflicting sibling of b1 *)
+  let evil =
+    Block.make_normal ~parent:Block.genesis ~view:2
+      ~payload:(Batch.of_list [ Operation.make ~client:9 ~seq:9 ~body:"evil" ])
+      ~justify:(Block.J_qc Qc.genesis)
+  in
+  Block_store.add store evil;
+  Alcotest.(check bool) "conflicting certificate trips the alarm" true
+    (try
+       ignore (Core.Committer.deliver com ~view:2 (commit_qc evil));
+       false
+     with Failure msg -> String.length msg > 0)
+
+let test_committer_handle_fetch () =
+  let store = Block_store.create () in
+  let com = Core.Committer.create (cfg 1) store in
+  let chain = chain_of store ~len:1 in
+  let b1 = List.hd chain in
+  (match Core.Committer.handle_fetch com ~sender:2 ~view:1 (Block.digest b1) with
+  | [ C.Send { dst = 2; msg = { Message.payload = Message.Fetch_resp { block }; _ } } ]
+    ->
+      Alcotest.(check bool) "returns the body" true (Block.equal block b1)
+  | _ -> Alcotest.fail "expected a response");
+  Alcotest.(check int) "unknown digest: silence" 0
+    (List.length
+       (Core.Committer.handle_fetch com ~sender:2 ~view:1 (Sha256.string "nope")))
+
+let suite =
+  [
+    ("cpu meter", `Quick, test_cpu_meter);
+    ("auth verify cache", `Quick, test_auth_verify_cache);
+    ("vote collector quorum", `Quick, test_vote_collector_quorum);
+    ("vote collector invalid & gc", `Quick, test_vote_collector_invalid_and_gc);
+    ("pacemaker backoff", `Quick, test_pacemaker_backoff);
+    ("committer commits in order", `Quick, test_committer_in_order);
+    ("committer fetches missing bodies", `Quick, test_committer_fetches_missing);
+    ("committer conflict is fatal", `Quick, test_committer_conflict_is_fatal);
+    ("committer answers fetches", `Quick, test_committer_handle_fetch);
+  ]
+
+let () = Alcotest.run "core-units" [ ("core-units", suite) ]

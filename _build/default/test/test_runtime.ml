@@ -1,0 +1,156 @@
+(* Tests for the runtime layer: the mempool's dedup/requeue machinery and
+   the cluster's measurement plumbing. *)
+
+open Marlin_types
+module Mempool = Marlin_runtime.Mempool
+module Cluster = Marlin_runtime.Cluster
+module Experiment = Marlin_runtime.Experiment
+
+let op ?(client = 1) seq = Operation.make ~client ~seq ~body:""
+
+(* ---------- mempool ---------- *)
+
+let test_mempool_fifo () =
+  let m = Mempool.create () in
+  List.iter (fun s -> ignore (Mempool.add m (op s))) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check int) "pending" 5 (Mempool.pending m);
+  let taken = Mempool.take m ~max:3 in
+  Alcotest.(check (list int)) "FIFO order" [ 1; 2; 3 ]
+    (List.map (fun o -> o.Operation.seq) taken);
+  Alcotest.(check int) "pending after take" 2 (Mempool.pending m)
+
+let test_mempool_dedup () =
+  let m = Mempool.create () in
+  Alcotest.(check bool) "first add" true (Mempool.add m (op 1));
+  Alcotest.(check bool) "duplicate rejected" false (Mempool.add m (op 1));
+  Alcotest.(check bool) "same seq other client ok" true
+    (Mempool.add m (op ~client:2 1));
+  Alcotest.(check int) "two pending" 2 (Mempool.pending m)
+
+let test_mempool_commit_clears () =
+  let m = Mempool.create () in
+  List.iter (fun s -> ignore (Mempool.add m (op s))) [ 1; 2; 3 ];
+  (* op 2 commits while still queued (another replica proposed it) *)
+  Mempool.mark_committed m [ op 2 ];
+  Alcotest.(check int) "pending drops" 2 (Mempool.pending m);
+  let taken = Mempool.take m ~max:10 in
+  Alcotest.(check (list int)) "committed op skipped" [ 1; 3 ]
+    (List.map (fun o -> o.Operation.seq) taken);
+  Alcotest.(check bool) "committed op cannot re-enter" false (Mempool.add m (op 2));
+  Alcotest.(check bool) "is_committed" true (Mempool.is_committed m (op 2));
+  Alcotest.(check bool) "taken, not committed" false (Mempool.is_committed m (op 1))
+
+let test_mempool_requeue_taken () =
+  let m = Mempool.create () in
+  List.iter (fun s -> ignore (Mempool.add m (op s))) [ 1; 2; 3 ];
+  let taken = Mempool.take m ~max:2 in
+  Alcotest.(check int) "took two" 2 (List.length taken);
+  (* op 1 commits; op 2's block was orphaned by a view change *)
+  Mempool.mark_committed m [ op 1 ];
+  Mempool.requeue_taken m;
+  Alcotest.(check int) "op 2 back + op 3" 2 (Mempool.pending m);
+  let again = Mempool.take m ~max:10 in
+  Alcotest.(check bool) "orphaned op re-proposable" true
+    (List.exists (fun o -> o.Operation.seq = 2) again);
+  Alcotest.(check bool) "committed op stays out" true
+    (not (List.exists (fun o -> o.Operation.seq = 1) again))
+
+let test_mempool_snapshot () =
+  let m = Mempool.create () in
+  List.iter (fun s -> ignore (Mempool.add m (op s))) [ 1; 2; 3 ];
+  ignore (Mempool.take m ~max:1);
+  Mempool.mark_committed m [ op 3 ];
+  let snap = Mempool.snapshot m in
+  Alcotest.(check (list int)) "snapshot = pooled, uncommitted" [ 2 ]
+    (List.map (fun o -> o.Operation.seq) snap);
+  Alcotest.(check int) "snapshot does not consume" 1 (Mempool.pending m)
+
+(* ---------- cluster measurement plumbing ---------- *)
+
+module Cl = Cluster.Make (Marlin_core.Chained_marlin)
+
+let test_cluster_windows () =
+  let params = { (Cluster.params_for_f ~clients:16 1) with Cluster.seed = 5 } in
+  let t = Cl.create params in
+  Cl.run t ~until:4.0;
+  let all = Cl.committed_ops_in t ~replica:0 ~since:0.0 ~until:4.0 in
+  let first = Cl.committed_ops_in t ~replica:0 ~since:0.0 ~until:2.0 in
+  let second = Cl.committed_ops_in t ~replica:0 ~since:2.0 ~until:4.0 in
+  Alcotest.(check bool) "ops committed" true (all > 0);
+  Alcotest.(check bool) "windows partition (boundary included once at most)" true
+    (abs (all - (first + second)) <= 1);
+  Alcotest.(check bool) "latency samples collected" true
+    (List.length (Cl.latencies_in t ~since:0.0 ~until:4.0) > 0);
+  Alcotest.(check bool) "all latencies positive" true
+    (List.for_all (fun l -> l > 0.) (Cl.latencies_in t ~since:0.0 ~until:4.0))
+
+let test_cluster_deterministic () =
+  let params = { (Cluster.params_for_f ~clients:32 1) with Cluster.seed = 123 } in
+  let run () =
+    let t = Cl.create params in
+    Cl.run t ~until:3.0;
+    Cl.total_executed t ~replica:2
+  in
+  Alcotest.(check int) "same seed, same history" (run ()) (run ());
+  let other =
+    let t = Cl.create { params with Cluster.seed = 124 } in
+    Cl.run t ~until:3.0;
+    Cl.total_executed t ~replica:2
+  in
+  (* different seed jitters arrivals; histories almost surely differ *)
+  Alcotest.(check bool) "different seed differs" true (other <> run () || other > 0)
+
+let test_cluster_crash_plumbing () =
+  let params = { (Cluster.params_for_f ~clients:16 1) with Cluster.seed = 6 } in
+  let t = Cl.create params in
+  Cl.crash t ~at:1.0 3;
+  Cl.run t ~until:4.0;
+  Alcotest.(check bool) "cluster survives one crash" true
+    (Cl.total_executed t ~replica:0 > 0);
+  Alcotest.(check bool) "agreement among the living" true (Cl.check_agreement t)
+
+(* ---------- experiment drivers ---------- *)
+
+let test_peak_selection () =
+  let mk clients throughput =
+    {
+      Experiment.clients;
+      throughput;
+      latency = Marlin_analysis.Stats.summarize [];
+      agreement = true;
+      executed = 0;
+    }
+  in
+  let results = [ mk 4 100.; mk 16 400.; mk 64 380. ] in
+  Alcotest.(check int) "peak picks the max" 16 (Experiment.peak results).Experiment.clients;
+  Alcotest.check_raises "empty peak raises"
+    (Invalid_argument "Experiment.peak: no results") (fun () ->
+      ignore (Experiment.peak []))
+
+let test_sweep_shape () =
+  let marlin : Marlin_core.Consensus_intf.protocol =
+    (module Marlin_core.Chained_marlin)
+  in
+  let results =
+    Experiment.sweep marlin
+      { (Cluster.params_for_f ~clients:0 1) with Cluster.seed = 2 }
+      ~warmup:0.5 ~duration:1.5 ~client_counts:[ 8; 32 ]
+  in
+  Alcotest.(check (list int)) "client counts preserved" [ 8; 32 ]
+    (List.map (fun r -> r.Experiment.clients) results)
+
+let suite =
+  [
+    ("mempool FIFO", `Quick, test_mempool_fifo);
+    ("mempool dedup", `Quick, test_mempool_dedup);
+    ("mempool commit clears", `Quick, test_mempool_commit_clears);
+    ("mempool requeues orphaned ops", `Quick, test_mempool_requeue_taken);
+    ("mempool snapshot", `Quick, test_mempool_snapshot);
+    ("cluster measurement windows", `Quick, test_cluster_windows);
+    ("cluster determinism", `Quick, test_cluster_deterministic);
+    ("cluster crash plumbing", `Quick, test_cluster_crash_plumbing);
+    ("experiment peak selection", `Quick, test_peak_selection);
+    ("experiment sweep shape", `Quick, test_sweep_shape);
+  ]
+
+let () = Alcotest.run "runtime" [ ("runtime", suite) ]

@@ -1,0 +1,326 @@
+(* Tests for the discrete-event simulator: RNG determinism, event-queue
+   ordering, the clock, and the network model (latency, bandwidth FIFO,
+   crashes, partitions, pre-GST delays). *)
+
+open Marlin_sim
+open Marlin_types
+
+let noop_msg sender =
+  Message.make ~sender ~view:0 (Message.Client_reply { client = 0; seq = 0 })
+
+(* ---------- rng ---------- *)
+
+let test_rng_determinism () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next a) (Rng.next b)
+  done;
+  let c = Rng.create ~seed:43 in
+  Alcotest.(check bool) "different seed differs" true (Rng.next a <> Rng.next c)
+
+let test_rng_split_independence () =
+  let parent = Rng.create ~seed:7 in
+  let child = Rng.split parent in
+  let child_vals = List.init 10 (fun _ -> Rng.next child) in
+  let parent_vals = List.init 10 (fun _ -> Rng.next parent) in
+  Alcotest.(check bool) "streams differ" true (child_vals <> parent_vals)
+
+let test_rng_ranges () =
+  let rng = Rng.create ~seed:1 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 10 in
+    Alcotest.(check bool) "int in range" true (v >= 0 && v < 10);
+    let f = Rng.float rng 2.5 in
+    Alcotest.(check bool) "float in range" true (f >= 0. && f < 2.5);
+    let e = Rng.exponential rng ~mean:0.1 in
+    Alcotest.(check bool) "exponential positive" true (e > 0.)
+  done;
+  Alcotest.check_raises "bad bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create ~seed:5 in
+  let n = 20_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng ~mean:0.25
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "empirical mean within 5%" true
+    (Float.abs (mean -. 0.25) < 0.0125)
+
+(* ---------- event queue ---------- *)
+
+let test_event_queue_ordering () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:3.0 "c";
+  Event_queue.push q ~time:1.0 "a";
+  Event_queue.push q ~time:2.0 "b";
+  Event_queue.push q ~time:1.0 "a2";
+  let order = ref [] in
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some (_, v) ->
+        order := v :: !order;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list string)) "time order, FIFO ties" [ "a"; "a2"; "b"; "c" ]
+    (List.rev !order)
+
+let test_event_queue_stress () =
+  let q = Event_queue.create () in
+  let rng = Rng.create ~seed:9 in
+  for i = 0 to 999 do
+    Event_queue.push q ~time:(Rng.float rng 100.) i
+  done;
+  Alcotest.(check int) "length" 1000 (Event_queue.length q);
+  let last = ref neg_infinity in
+  let count = ref 0 in
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some (t, _) ->
+        Alcotest.(check bool) "monotone" true (t >= !last);
+        last := t;
+        incr count;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check int) "drained all" 1000 !count;
+  Alcotest.(check bool) "empty" true (Event_queue.is_empty q)
+
+(* ---------- sim clock ---------- *)
+
+let test_sim_run_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.schedule_in sim ~delay:0.5 (fun () -> log := ("b", Sim.now sim) :: !log);
+  Sim.schedule_in sim ~delay:0.1 (fun () ->
+      log := ("a", Sim.now sim) :: !log;
+      (* events scheduled from inside events run too *)
+      Sim.schedule_in sim ~delay:0.1 (fun () -> log := ("a2", Sim.now sim) :: !log));
+  Sim.run sim;
+  match List.rev !log with
+  | [ ("a", t1); ("a2", t2); ("b", t3) ] ->
+      Alcotest.(check (float 1e-9)) "t1" 0.1 t1;
+      Alcotest.(check (float 1e-9)) "t2" 0.2 t2;
+      Alcotest.(check (float 1e-9)) "t3" 0.5 t3
+  | other -> Alcotest.failf "unexpected order (%d events)" (List.length other)
+
+let test_sim_run_until () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  List.iter
+    (fun d -> Sim.schedule_in sim ~delay:d (fun () -> incr fired))
+    [ 0.1; 0.2; 0.9 ];
+  Sim.run ~until:0.5 sim;
+  Alcotest.(check int) "two fired" 2 !fired;
+  Alcotest.(check (float 1e-9)) "clock at until" 0.5 (Sim.now sim);
+  Alcotest.(check int) "one pending" 1 (Sim.pending sim);
+  Sim.run sim;
+  Alcotest.(check int) "all fired" 3 !fired
+
+let test_sim_past_events_clamp () =
+  let sim = Sim.create () in
+  Sim.schedule_in sim ~delay:1.0 (fun () ->
+      Sim.schedule_at sim ~time:0.2 (fun () ->
+          Alcotest.(check (float 1e-9)) "clamped to now" 1.0 (Sim.now sim)));
+  Sim.run sim
+
+(* ---------- network ---------- *)
+
+let make_net ?(config = Netsim.default_config) ?(endpoints = 4) () =
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:11 in
+  let net = Netsim.create sim rng config ~endpoints in
+  (sim, net)
+
+let test_net_delivery_latency () =
+  let config =
+    { Netsim.default_config with latency = 0.04; jitter = 0.; bandwidth_bps = infinity }
+  in
+  let sim, net = make_net ~config () in
+  let received = ref None in
+  Netsim.register net ~id:1 (fun ~src msg ->
+      received := Some (src, Message.type_name msg, Sim.now sim));
+  Netsim.send net ~src:0 ~dst:1 ~size:100 (noop_msg 0);
+  Sim.run sim;
+  match !received with
+  | Some (src, _, t) ->
+      Alcotest.(check int) "src" 0 src;
+      Alcotest.(check (float 1e-9)) "arrives after latency" 0.04 t
+  | None -> Alcotest.fail "not delivered"
+
+let test_net_bandwidth_fifo () =
+  (* 1 Mbps uplink: a 125_000-byte message takes 1 s to serialize; two
+     queued messages serialize back to back. *)
+  let config =
+    { Netsim.default_config with latency = 0.; jitter = 0.; bandwidth_bps = 1e6 }
+  in
+  let sim, net = make_net ~config () in
+  let times = ref [] in
+  Netsim.register net ~id:1 (fun ~src:_ _ -> times := Sim.now sim :: !times);
+  Netsim.send net ~src:0 ~dst:1 ~size:125_000 (noop_msg 0);
+  Netsim.send net ~src:0 ~dst:1 ~size:125_000 (noop_msg 0);
+  Sim.run sim;
+  match List.rev !times with
+  | [ t1; t2 ] ->
+      Alcotest.(check (float 1e-6)) "first after 1s" 1.0 t1;
+      Alcotest.(check (float 1e-6)) "second queued behind" 2.0 t2
+  | _ -> Alcotest.fail "expected two deliveries"
+
+let test_net_self_send_is_free () =
+  let config =
+    { Netsim.default_config with latency = 0.04; bandwidth_bps = 1e3 }
+  in
+  let sim, net = make_net ~config () in
+  let at = ref None in
+  Netsim.register net ~id:0 (fun ~src:_ _ -> at := Some (Sim.now sim));
+  Netsim.send net ~src:0 ~dst:0 ~size:1_000_000 (noop_msg 0);
+  Sim.run sim;
+  Alcotest.(check (option (float 1e-9))) "immediate" (Some 0.) !at
+
+let test_net_earliest () =
+  let config =
+    { Netsim.default_config with latency = 0.01; jitter = 0.; bandwidth_bps = infinity }
+  in
+  let sim, net = make_net ~config () in
+  let at = ref None in
+  Netsim.register net ~id:1 (fun ~src:_ _ -> at := Some (Sim.now sim));
+  (* CPU busy until t=0.5: message departs then, arrives 0.51. *)
+  Netsim.send net ~earliest:0.5 ~src:0 ~dst:1 ~size:10 (noop_msg 0);
+  Sim.run sim;
+  Alcotest.(check (option (float 1e-9))) "departs at earliest" (Some 0.51) !at
+
+let test_net_crash () =
+  let sim, net = make_net () in
+  let got = ref 0 in
+  Netsim.register net ~id:1 (fun ~src:_ _ -> incr got);
+  Netsim.register net ~id:2 (fun ~src:_ _ -> incr got);
+  Netsim.crash net 1;
+  Alcotest.(check bool) "crashed" true (Netsim.is_crashed net 1);
+  Netsim.send net ~src:0 ~dst:1 ~size:10 (noop_msg 0);
+  (* crashed sender *)
+  Netsim.send net ~src:1 ~dst:2 ~size:10 (noop_msg 1);
+  Netsim.send net ~src:0 ~dst:2 ~size:10 (noop_msg 0);
+  Sim.run sim;
+  Alcotest.(check int) "only the healthy pair delivered" 1 !got
+
+let test_net_link_filter () =
+  let sim, net = make_net () in
+  let got = ref [] in
+  for id = 0 to 3 do
+    Netsim.register net ~id (fun ~src _ -> got := (src, id) :: !got)
+  done;
+  (* Partition {0,1} | {2,3}. *)
+  Netsim.set_link_filter net
+    (Some (fun ~src ~dst _msg -> src / 2 = dst / 2));
+  Netsim.send net ~src:0 ~dst:1 ~size:10 (noop_msg 0);
+  Netsim.send net ~src:0 ~dst:2 ~size:10 (noop_msg 0);
+  Netsim.send net ~src:3 ~dst:2 ~size:10 (noop_msg 3);
+  Sim.run sim;
+  Alcotest.(check int) "two delivered" 2 (List.length !got);
+  Netsim.set_link_filter net None;
+  Netsim.send net ~src:0 ~dst:2 ~size:10 (noop_msg 0);
+  Sim.run sim;
+  Alcotest.(check int) "healed" 3 (List.length !got)
+
+let test_net_pre_gst_delay () =
+  let config =
+    {
+      Netsim.latency = 0.01;
+      jitter = 0.;
+      bandwidth_bps = infinity;
+      gst = 1.0;
+      pre_gst_extra = 5.0;
+    }
+  in
+  let sim, net = make_net ~config () in
+  let times = ref [] in
+  Netsim.register net ~id:1 (fun ~src:_ _ -> times := Sim.now sim :: !times);
+  (* Before GST: may be delayed up to 5s extra. After: crisp. *)
+  Netsim.send net ~src:0 ~dst:1 ~size:10 (noop_msg 0);
+  Sim.schedule_at sim ~time:2.0 (fun () ->
+      Netsim.send net ~src:0 ~dst:1 ~size:10 (noop_msg 0));
+  Sim.run sim;
+  match List.sort compare !times with
+  | [ a; b ] ->
+      let pre, post = if a < 2.0 then (a, b) else (b, a) in
+      Alcotest.(check bool) "pre-GST delayed beyond base latency" true (pre > 0.01);
+      Alcotest.(check (float 1e-9)) "post-GST crisp" 2.01 post
+  | l -> Alcotest.failf "expected 2 deliveries, got %d" (List.length l)
+
+let test_net_stats () =
+  let sim, net = make_net () in
+  Netsim.register net ~id:1 (fun ~src:_ _ -> ());
+  let metered = ref 0 in
+  Netsim.on_send net (Some (fun ~src:_ ~dst:_ ~size _msg -> metered := !metered + size));
+  Netsim.send net ~src:0 ~dst:1 ~size:100 (noop_msg 0);
+  Netsim.send net ~src:0 ~dst:1 ~size:50 (noop_msg 0);
+  Sim.run sim;
+  let stats = Netsim.stats net in
+  Alcotest.(check int) "messages" 2 stats.Netsim.messages;
+  Alcotest.(check int) "bytes" 150 stats.Netsim.bytes;
+  Alcotest.(check int) "meter saw bytes" 150 !metered;
+  Netsim.reset_stats net;
+  Alcotest.(check int) "reset" 0 (Netsim.stats net).Netsim.messages
+
+let qcheck_cases =
+  let open QCheck in
+  [
+    Test.make ~count:50 ~name:"sim events always run in time order"
+      (list_of_size Gen.(1 -- 50) (float_range 0. 10.))
+      (fun delays ->
+        let sim = Sim.create () in
+        let last = ref neg_infinity in
+        let ok = ref true in
+        List.iter
+          (fun d ->
+            Sim.schedule_in sim ~delay:d (fun () ->
+                if Sim.now sim < !last then ok := false;
+                last := Sim.now sim))
+          delays;
+        Sim.run sim;
+        !ok);
+    Test.make ~count:50 ~name:"nic serialization is work-conserving"
+      (list_of_size Gen.(1 -- 20) (int_range 1 10_000))
+      (fun sizes ->
+        (* With latency 0, total delivery time = total bytes / bandwidth. *)
+        let config =
+          { Netsim.default_config with latency = 0.; jitter = 0.; bandwidth_bps = 1e6 }
+        in
+        let sim = Sim.create () in
+        let net = Netsim.create sim (Rng.create ~seed:3) config ~endpoints:2 in
+        let last = ref 0. in
+        Netsim.register net ~id:1 (fun ~src:_ _ -> last := Sim.now sim);
+        List.iter (fun s -> Netsim.send net ~src:0 ~dst:1 ~size:s (noop_msg 0)) sizes;
+        Sim.run sim;
+        let expect = float_of_int (8 * List.fold_left ( + ) 0 sizes) /. 1e6 in
+        Float.abs (!last -. expect) < 1e-6);
+  ]
+
+let suite =
+  [
+    ("rng determinism", `Quick, test_rng_determinism);
+    ("rng split independence", `Quick, test_rng_split_independence);
+    ("rng ranges", `Quick, test_rng_ranges);
+    ("rng exponential mean", `Quick, test_rng_exponential_mean);
+    ("event queue ordering", `Quick, test_event_queue_ordering);
+    ("event queue stress", `Quick, test_event_queue_stress);
+    ("sim run order", `Quick, test_sim_run_order);
+    ("sim run until", `Quick, test_sim_run_until);
+    ("sim clamps past events", `Quick, test_sim_past_events_clamp);
+    ("net delivery latency", `Quick, test_net_delivery_latency);
+    ("net bandwidth fifo", `Quick, test_net_bandwidth_fifo);
+    ("net self send free", `Quick, test_net_self_send_is_free);
+    ("net earliest (cpu modelling)", `Quick, test_net_earliest);
+    ("net crash", `Quick, test_net_crash);
+    ("net link filter", `Quick, test_net_link_filter);
+    ("net pre-GST delay", `Quick, test_net_pre_gst_delay);
+    ("net stats & metering", `Quick, test_net_stats);
+  ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_cases
+
+let () = Alcotest.run "sim" [ ("sim", suite) ]
