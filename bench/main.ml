@@ -78,7 +78,7 @@ let table1 ~full =
       List.iter
         (fun (name, proto, force_unhappy) ->
           let r =
-            Experiment.run_view_change proto (bench_params f) ~force_unhappy
+            Experiment.run_view_change proto ~params:(bench_params f) ~force_unhappy
           in
           Printf.printf "%-22s %6d %12d %8d %8d\n" name ((3 * f) + 1)
             r.Experiment.vc_bytes r.Experiment.vc_authenticators
@@ -124,7 +124,7 @@ let tput_latency_figure ~full ~fig f =
     (fun clients ->
       let run proto =
         Experiment.run_throughput proto
-          { (bench_params f) with Cluster.clients }
+          ~params:{ (bench_params f) with Cluster.clients }
           ~warmup ~duration
       in
       let m = run marlin and h = run hotstuff in
@@ -148,7 +148,7 @@ let fig10_tput ~full () =
 
 let sweep_for ~full proto ~params f =
   let warmup, duration = durations ~full f in
-  Experiment.sweep proto params ~warmup ~duration
+  Experiment.sweep proto ~params ~warmup ~duration
     ~client_counts:(sweep_clients ~full f)
 
 (* The paper's throughput/latency figures plot latency up to ~1 s, and its
@@ -224,13 +224,13 @@ let fig10i ~full () =
     (fun f ->
       let params = bench_params f in
       let happy =
-        Experiment.run_view_change basic_marlin params ~force_unhappy:false
+        Experiment.run_view_change basic_marlin ~params ~force_unhappy:false
       in
       let unhappy =
-        Experiment.run_view_change basic_marlin params ~force_unhappy:true
+        Experiment.run_view_change basic_marlin ~params ~force_unhappy:true
       in
       let hs =
-        Experiment.run_view_change basic_hotstuff params ~force_unhappy:false
+        Experiment.run_view_change basic_hotstuff ~params ~force_unhappy:false
       in
       let ms r =
         if Float.is_finite r.Experiment.vc_latency then
@@ -269,10 +269,10 @@ let fig10j ~full () =
          views do not cluster *)
       let crashed = match k with 0 -> [] | 1 -> [ 9 ] | _ -> [ 5; 7; 9 ] in
       let m =
-        Experiment.run_with_crashes marlin params ~crashed ~warmup ~duration
+        Experiment.run_with_crashes marlin ~params ~crashed ~warmup ~duration
       in
       let h =
-        Experiment.run_with_crashes hotstuff params ~crashed ~warmup ~duration
+        Experiment.run_with_crashes hotstuff ~params ~crashed ~warmup ~duration
       in
       Printf.printf "%10d | %12.2f %12.2f\n" k
         (m.Experiment.throughput /. 1000.)
@@ -336,7 +336,7 @@ let ablate_sigs ~full () =
           let peak =
             Experiment.peak ~latency_cap:1.0 (sweep_for ~full proto ~params f)
           in
-          let vc = Experiment.run_view_change basic params ~force_unhappy:false in
+          let vc = Experiment.run_view_change basic ~params ~force_unhappy:false in
           Printf.printf "%-12s %-14s | %12.2f %8.0f | %14.0f
 " name pname
             (peak.Experiment.throughput /. 1000.)
@@ -406,12 +406,100 @@ let ablate_batch ~full () =
   List.iter
     (fun batch_max ->
       let params = { (bench_params ~clients 1) with Cluster.batch_max } in
-      let r = Experiment.run_throughput marlin params ~warmup:1.0 ~duration:4.0 in
+      let r = Experiment.run_throughput marlin ~params ~warmup:1.0 ~duration:4.0 in
       Printf.printf "%10d | %12.2f %8.0f
 " batch_max
         (r.Experiment.throughput /. 1000.)
         (r.Experiment.latency.Stats.mean *. 1000.))
     [ 125; 500; 2000; 8000 ]
+
+(* ------------------------------------------------------------------ *)
+(* Observability: instrumented runs (--trace / --metrics-out)          *)
+(* ------------------------------------------------------------------ *)
+
+module Obs = Marlin_obs
+
+(* A fully instrumented happy-path run of the basic protocols at f = 1
+   with a single closed-loop client, so every op becomes its own block and
+   the consensus message counters can be read against the closed-form
+   happy-path cost: (2p + 1)(n - 1) messages per block — 5(n-1) for
+   two-phase Marlin, 7(n-1) for three-phase HotStuff. With --metrics-out
+   the per-replica per-kind counters and latency histograms go to one CSV;
+   with --trace the full event log goes to JSONL. *)
+let observe ~full ~trace_file ~metrics_file () =
+  section
+    "Observability: instrumented Marlin vs HotStuff (basic, f = 1, 1 client)";
+  (* open output files first so a bad path fails before the runs *)
+  let metrics_oc = Option.map open_out metrics_file in
+  let trace_oc = Option.map open_out trace_file in
+  let n = 4 in
+  let duration = if full then 30.0 else 10.0 in
+  let runs =
+    List.map
+      (fun (label, proto, cproto) ->
+        let obs = Obs.Run.create ~trace:(trace_file <> None) ~n () in
+        let params =
+          { (bench_params ~clients:1 1) with Cluster.obs = Some obs }
+        in
+        let r = Experiment.run_throughput proto ~params ~warmup:1.0 ~duration in
+        (label, cproto, obs, r))
+      [
+        ("marlin", basic_marlin, Complexity.Marlin);
+        ("hotstuff", basic_hotstuff, Complexity.Hotstuff);
+      ]
+  in
+  List.iter
+    (fun (label, cproto, obs, (r : Experiment.throughput_result)) ->
+      let metrics = Obs.Run.metrics obs in
+      Printf.printf "\n%s: %.0f op/s, agreement %B\n" label
+        r.Experiment.throughput r.Experiment.agreement;
+      Printf.printf "  %7s | %6s %10s %6s | %7s %4s %6s | %10s %8s\n" "replica"
+        "msgs" "bytes" "auths" "blocks" "vcs" "timers" "commit ms" "p95 ms";
+      Array.iter
+        (fun m ->
+          let c = Obs.Metrics.consensus_sent m in
+          let lat = Obs.Metrics.commit_latency m in
+          Printf.printf "  %7d | %6d %10d %6d | %7d %4d %6d | %10.1f %8.1f\n"
+            (Obs.Metrics.replica m) c.Obs.Metrics.msgs c.Obs.Metrics.bytes
+            c.Obs.Metrics.auths
+            (Obs.Metrics.blocks_committed m)
+            (Obs.Metrics.view_changes m)
+            (Obs.Metrics.timer_fires m)
+            (lat.Stats.mean *. 1000.) (lat.Stats.p95 *. 1000.))
+        metrics;
+      let total_msgs =
+        Array.fold_left
+          (fun acc m -> acc + (Obs.Metrics.consensus_sent m).Obs.Metrics.msgs)
+          0 metrics
+      in
+      let blocks = Obs.Metrics.blocks_committed metrics.(0) in
+      Printf.printf
+        "  consensus msgs: %d over %d blocks = %.2f/block (model: %d msgs, %d \
+         voting phases)\n"
+        total_msgs blocks
+        (float_of_int total_msgs /. float_of_int (max 1 blocks))
+        (Complexity.happy_messages cproto ~n)
+        (Complexity.happy_phases cproto))
+    runs;
+  (match (metrics_oc, metrics_file) with
+  | Some oc, Some path ->
+      output_string oc Obs.Run.metrics_csv_header;
+      output_char oc '\n';
+      List.iter
+        (fun (label, _, obs, _) ->
+          output_string oc (Obs.Run.metrics_csv ~label obs))
+        runs;
+      close_out oc;
+      Printf.printf "\nmetrics -> %s\n" path
+  | _ -> ());
+  match (trace_oc, trace_file) with
+  | Some oc, Some path ->
+      List.iter
+        (fun (label, _, obs, _) -> Obs.Run.write_trace ~run:label oc obs)
+        runs;
+      close_out oc;
+      Printf.printf "trace   -> %s\n" path
+  | _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
@@ -431,13 +519,28 @@ let all ~full () =
   Bench_demo.run ();
   Bench_micro.run ()
 
+(* Pull one "--flag FILE" option out of the argument list. *)
+let rec take_opt name = function
+  | [] -> (None, [])
+  | flag :: value :: rest when flag = name -> (Some value, rest)
+  | [ flag ] when flag = name ->
+      Printf.eprintf "%s needs a file argument\n" name;
+      exit 2
+  | x :: rest ->
+      let v, rest' = take_opt name rest in
+      (v, x :: rest')
+
 let () =
   let full = Array.exists (fun a -> a = "--full") Sys.argv in
   let args =
     Array.to_list Sys.argv |> List.tl |> List.filter (fun a -> a <> "--full")
   in
+  let trace_file, args = take_opt "--trace" args in
+  let metrics_file, args = take_opt "--metrics-out" args in
   let t0 = Unix.gettimeofday () in
   (match args with
+  | [] when trace_file <> None || metrics_file <> None ->
+      observe ~full ~trace_file ~metrics_file ()
   | [] | [ "all" ] -> all ~full ()
   | targets ->
       List.iter
@@ -459,11 +562,13 @@ let () =
           | "ablate-batch" -> ablate_batch ~full ()
           | "fig2-demo" -> Bench_demo.run ()
           | "micro" -> Bench_micro.run ()
+          | "observe" -> observe ~full ~trace_file ~metrics_file ()
           | other ->
               Printf.eprintf
                 "unknown target %S (try: table1 fig10a..fig10f fig10g fig10h \
                  fig10i fig10j related-work ablate-sigs ablate-shadow ablate-batch \
-                 fig2-demo micro all)\n"
+                 fig2-demo micro observe all; observe takes --trace FILE and \
+                 --metrics-out FILE)\n"
                 other;
               exit 2)
         targets);

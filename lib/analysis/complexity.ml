@@ -67,6 +67,19 @@ let formulas = function
 
 let vc_phases p = (evaluate p ~n:4 ~u:2 ~c:2 ~lambda:256).phases
 
+(* Happy-path voting phases per block: HotStuff's prepare/precommit/commit
+   vs the two-phase protocols' prepare/commit. *)
+let happy_phases = function
+  | Hotstuff -> 3
+  | Fast_hotstuff | Jolteon | Wendy | Marlin -> 2
+
+(* Per committed block, with a stable leader: the proposal broadcast plus,
+   per voting phase, n-1 votes to the leader and the certificate broadcast
+   to the n-1 others — (2p + 1)(n - 1) messages. Each message carries one
+   authenticator (a partial signature or an aggregated certificate). *)
+let happy_messages p ~n = ((2 * happy_phases p) + 1) * (n - 1)
+let happy_authenticators p ~n = happy_messages p ~n
+
 (* CPU time of one view change's cryptography: the signature-verification
    work implied by the authenticator counts, under the given scheme. Wendy
    additionally pays O(n) pairings even in the conventional-signature

@@ -35,6 +35,21 @@ val formulas : protocol -> string * string * string
     symbolic entries. *)
 
 val vc_phases : protocol -> string
+
+val happy_phases : protocol -> int
+(** Voting phases per block on the happy path (3 for HotStuff, 2 for the
+    two-phase protocols). *)
+
+val happy_messages : protocol -> n:int -> int
+(** Consensus messages per committed block with a stable leader in the
+    basic (non-chained) protocol: the proposal broadcast plus one vote
+    round and one certificate broadcast per phase — [(2p + 1)(n - 1)], so
+    [5(n-1)] for Marlin and [7(n-1)] for HotStuff. The observability
+    layer's per-kind counters reconcile against this in [test_obs]. *)
+
+val happy_authenticators : protocol -> n:int -> int
+(** One authenticator per message on the happy path. *)
+
 val crypto_vc_seconds : protocol -> n:int -> cost:Marlin_crypto.Cost_model.t -> float
 (** Estimated CPU seconds of view-change cryptography under a signature
     scheme — the quantity behind the paper's observation that Wendy's

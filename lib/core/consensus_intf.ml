@@ -21,12 +21,27 @@ type config = {
           escalate to a view change" decision *)
   base_timeout : float;  (** initial view-timer duration, seconds *)
   max_timeout : float;  (** backoff cap *)
+  obs : Marlin_obs.Sink.handle;
+      (** observability sink; [Marlin_obs.Sink.none] disables emission *)
 }
 
 let quorum cfg = cfg.n - cfg.f
 
 (** Round-robin leader schedule. *)
 let leader_of cfg view = view mod cfg.n
+
+(** Why a protocol asked for its view timer to be (re)armed — carried on
+    {!Timer} actions so the runtime and traces can label timers without
+    guessing from protocol state. *)
+type timer_cause =
+  | View_progress  (** normal watchdog while the view makes progress *)
+  | View_change  (** waiting out a view change / leader handoff *)
+  | Backoff  (** exponential-backoff re-arm after a timeout *)
+
+let timer_cause_label = function
+  | View_progress -> "view-progress"
+  | View_change -> "view-change"
+  | Backoff -> "backoff"
 
 type action =
   | Send of { dst : int; msg : Message.t }
@@ -35,7 +50,31 @@ type action =
           internally before returning, so the runtime must not echo
           broadcasts back to the sender *)
   | Commit of Block.t list  (** newly committed blocks, oldest first *)
-  | Timer of float  (** (re)arm the view timer for this many seconds *)
+  | Timer of { duration : float; cause : timer_cause }
+      (** (re)arm the view timer for [duration] seconds *)
+
+let timer ?(cause = View_progress) duration = Timer { duration; cause }
+
+module Config = struct
+  (** Smart constructor for {!config}. Validates the quorum arithmetic and
+      index range, and fills in the defaults the record literal forced
+      every call site to repeat. *)
+  let make ?(base_timeout = 1.0) ?(max_timeout = 16.0)
+      ?(cost = Marlin_crypto.Cost_model.ecdsa_group)
+      ?(get_batch = fun () -> Batch.empty) ?(has_pending = fun () -> false)
+      ?(obs = Marlin_obs.Sink.none) ~id ~n ~f ~keychain () =
+    if n < 3 * f + 1 then
+      invalid_arg
+        (Printf.sprintf "Config.make: n = %d < 3f + 1 = %d" n ((3 * f) + 1));
+    if id < 0 || id >= n then
+      invalid_arg (Printf.sprintf "Config.make: id = %d not in [0, %d)" id n);
+    if base_timeout <= 0. || max_timeout < base_timeout then
+      invalid_arg "Config.make: need 0 < base_timeout <= max_timeout";
+    {
+      id; n; f; keychain; cost; get_batch; has_pending;
+      base_timeout; max_timeout; obs;
+    }
+end
 
 module type PROTOCOL = sig
   type t
@@ -71,4 +110,5 @@ let pp_action fmt = function
   | Send { dst; msg } -> Format.fprintf fmt "send[->%d] %a" dst Message.pp msg
   | Broadcast msg -> Format.fprintf fmt "broadcast %a" Message.pp msg
   | Commit blocks -> Format.fprintf fmt "commit %d block(s)" (List.length blocks)
-  | Timer d -> Format.fprintf fmt "timer %.3fs" d
+  | Timer { duration; cause } ->
+      Format.fprintf fmt "timer %.3fs (%s)" duration (timer_cause_label cause)

@@ -1,6 +1,7 @@
 open Marlin_types
 module Sha256 = Marlin_crypto.Sha256
 module C = Consensus_intf
+module Obs = Marlin_obs.Sink
 
 (* Basic vs chained (pipelined) mode. Chained HotStuff has one generic
    voting round per block; a block locks on a two-chain and commits on a
@@ -79,8 +80,22 @@ let finish_commits t (r : Committer.result) =
   if r.Committer.committed = [] then r.Committer.sends
   else begin
     Pacemaker.note_progress t.pacemaker;
+    if Obs.enabled t.cfg.C.obs then begin
+      let blocks = List.length r.Committer.committed in
+      let ops =
+        List.fold_left
+          (fun acc b -> acc + Batch.length b.Block.payload)
+          0 r.Committer.committed
+      in
+      let height =
+        List.fold_left
+          (fun acc b -> max acc b.Block.height)
+          0 r.Committer.committed
+      in
+      Obs.commit t.cfg.C.obs ~view:t.cview ~height ~blocks ~ops
+    end;
     C.Commit r.Committer.committed
-    :: C.Timer (Pacemaker.current_timeout t.pacemaker)
+    :: C.timer (Pacemaker.current_timeout t.pacemaker)
     :: r.Committer.sends
   end
 
@@ -125,8 +140,17 @@ let phase_key phase digest =
     | Qc.Commit -> 3)
     (Sha256.to_raw digest)
 
+(* Static labels so emitting on the hot path allocates nothing. *)
+let phase_label = function
+  | Qc.Pre_prepare -> "pre-prepare"
+  | Qc.Prepare -> "prepare"
+  | Qc.Precommit -> "precommit"
+  | Qc.Commit -> "commit"
+
 let vote_to_leader t ~kind (block : Qc.block_ref) =
   let partial = Auth.sign_vote t.auth ~signer:(me t) ~phase:kind ~view:t.cview block in
+  Obs.vote t.cfg.C.obs ~view:t.cview ~height:block.Qc.height
+    ~phase:(phase_label kind);
   [
     C.Send
       {
@@ -175,6 +199,8 @@ let try_propose t =
       in
       t.in_flight <- Some (Block.digest b);
       ignore (note_block t b);
+      Obs.propose t.cfg.C.obs ~view:t.cview ~height:b.Block.height
+        ~txs:(Batch.length payload);
       [ C.Broadcast (msg t (Message.Propose { block = b; justify = High_qc.Single qc })) ]
     end
   end
@@ -184,6 +210,8 @@ let on_vote t kind (block : Qc.block_ref) partial =
   else
     match Vote_collector.add t.votes ~phase:kind ~view:t.cview ~block partial with
     | Vote_collector.Quorum qc -> (
+        Obs.qc_formed t.cfg.C.obs ~view:t.cview ~height:block.Qc.height
+          ~phase:(phase_label kind);
         match kind with
         | Qc.Prepare ->
             if Rank.qc_gt qc t.prepare_qc then t.prepare_qc <- qc;
@@ -216,6 +244,7 @@ let maybe_finish_new_view t =
         in
         t.prepare_qc <- high;
         t.collecting_new_view <- false;
+        Obs.view_change_exit t.cfg.C.obs ~view:t.cview;
         try_propose t
     | Some _ | None -> []
   else []
@@ -245,7 +274,10 @@ let rec on_new_view_msg t (m : Message.t) (qc : Qc.t) =
         m.Message.view > t.cview
         && C.leader_of t.cfg m.Message.view = me t
         && List.length existing + 1 >= t.cfg.C.f + 1
-      then enter_view t m.Message.view ~send_new_view:true
+      then begin
+        Obs.view_enter t.cfg.C.obs ~view:m.Message.view ~cause:"sync";
+        enter_view t m.Message.view ~send_new_view:true
+      end
       else maybe_finish_new_view t
     end
   end
@@ -253,9 +285,14 @@ let rec on_new_view_msg t (m : Message.t) (qc : Qc.t) =
 and enter_view t view ~send_new_view =
   t.cview <- view;
   reset_view_state t;
-  let timer = C.Timer (Pacemaker.current_timeout t.pacemaker) in
+  let timer =
+    C.timer
+      ~cause:(if send_new_view then C.View_change else C.View_progress)
+      (Pacemaker.current_timeout t.pacemaker)
+  in
   let nv_actions =
     if send_new_view then begin
+      Obs.view_change_enter t.cfg.C.obs ~view;
       let m = msg t (Message.New_view { justify = t.prepare_qc }) in
       if leader_of t view = me t then on_new_view_msg t m t.prepare_qc
       else [ C.Send { dst = leader_of t view; msg = m } ]
@@ -371,6 +408,7 @@ let maybe_fast_forward t (m : Message.t) =
     match proof with
     | Some _ ->
         Pacemaker.note_progress t.pacemaker;
+        Obs.view_enter t.cfg.C.obs ~view:m.Message.view ~cause:"fast-forward";
         enter_view t m.Message.view ~send_new_view:false
     | None -> []
 
@@ -414,15 +452,17 @@ let rec settle t actions =
 let on_message t m = settle t (on_message t m)
 
 let on_start t =
-  C.Timer (Pacemaker.current_timeout t.pacemaker) :: settle t (try_propose t)
+  C.timer (Pacemaker.current_timeout t.pacemaker) :: settle t (try_propose t)
 
 let on_new_payload t = settle t (try_propose t)
 
 let force_view_change t =
+  Obs.view_enter t.cfg.C.obs ~view:(t.cview + 1) ~cause:"rotation";
   settle t (enter_view t (t.cview + 1) ~send_new_view:true)
 
 let on_view_timeout t =
   (* Timeouts always escalate; see Marlin_impl.on_view_timeout. *)
   Pacemaker.note_view_change t.pacemaker;
+  Obs.view_enter t.cfg.C.obs ~view:(t.cview + 1) ~cause:"timeout";
   settle t (enter_view t (t.cview + 1) ~send_new_view:true)
 end

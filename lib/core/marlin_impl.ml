@@ -1,6 +1,7 @@
 open Marlin_types
 module Sha256 = Marlin_crypto.Sha256
 module C = Consensus_intf
+module Obs = Marlin_obs.Sink
 
 let src = Logs.Src.create "marlin" ~doc:"Marlin protocol"
 
@@ -139,8 +140,22 @@ let finish_commits t (r : Committer.result) =
   if r.Committer.committed = [] then r.Committer.sends
   else begin
     Pacemaker.note_progress t.pacemaker;
+    if Obs.enabled t.cfg.C.obs then begin
+      let blocks = List.length r.Committer.committed in
+      let ops =
+        List.fold_left
+          (fun acc b -> acc + Batch.length b.Block.payload)
+          0 r.Committer.committed
+      in
+      let height =
+        List.fold_left
+          (fun acc b -> max acc b.Block.height)
+          0 r.Committer.committed
+      in
+      Obs.commit t.cfg.C.obs ~view:t.cview ~height ~blocks ~ops
+    end;
     C.Commit r.Committer.committed
-    :: C.Timer (Pacemaker.current_timeout t.pacemaker)
+    :: C.timer (Pacemaker.current_timeout t.pacemaker)
     :: r.Committer.sends
   end
 
@@ -215,6 +230,8 @@ let try_propose t =
           in
           t.in_flight <- Some (Block.digest b);
           ignore (note_block t b);
+          Obs.propose t.cfg.C.obs ~view:t.cview ~height:b.Block.height
+            ~txs:(Batch.length payload);
           [ C.Broadcast (msg t (Message.Propose { block = b; justify = t.high })) ]
         end
     | High_qc.Single ({ Qc.phase = Qc.Pre_prepare; _ } as qc)
@@ -224,6 +241,8 @@ let try_propose t =
         | None -> []
         | Some b ->
             t.in_flight <- Some (Block.digest b);
+            Obs.propose t.cfg.C.obs ~view:t.cview ~height:b.Block.height
+              ~txs:(Batch.length b.Block.payload);
             [ C.Broadcast (msg t (Message.Propose { block = b; justify = t.high })) ])
     | High_qc.Single _ -> []
 
@@ -294,6 +313,7 @@ let accept_propose t (block : Block.t) (justify : High_qc.t) =
     let partial =
       Auth.sign_vote t.auth ~signer:(me t) ~phase:Qc.Prepare ~view:t.cview b_ref
     in
+    Obs.vote t.cfg.C.obs ~view:t.cview ~height:b_ref.Qc.height ~phase:"prepare";
     adds @ chain_commits
     @ [
         C.Send
@@ -327,6 +347,8 @@ let accept_prepare_cert t (qc : Qc.t) =
         Auth.sign_vote t.auth ~signer:(me t) ~phase:Qc.Commit ~view:t.cview
           qc.Qc.block
       in
+      Obs.vote t.cfg.C.obs ~view:t.cview ~height:qc.Qc.block.Qc.height
+        ~phase:"commit";
       [
         C.Send
           {
@@ -348,6 +370,8 @@ let on_prepare_vote t (block : Qc.block_ref) partial =
   else
     match Vote_collector.add t.votes ~phase:Qc.Prepare ~view:t.cview ~block partial with
     | Vote_collector.Quorum qc ->
+        Obs.qc_formed t.cfg.C.obs ~view:t.cview ~height:block.Qc.height
+          ~phase:"prepare";
         t.high <- High_qc.Single qc;
         if Rank.qc_gt qc t.locked_qc then t.locked_qc <- qc;
         if Mode.chained then begin
@@ -367,6 +391,8 @@ let on_commit_vote t (block : Qc.block_ref) partial =
   else
     match Vote_collector.add t.votes ~phase:Qc.Commit ~view:t.cview ~block partial with
     | Vote_collector.Quorum qc ->
+        Obs.qc_formed t.cfg.C.obs ~view:t.cview ~height:block.Qc.height
+          ~phase:"commit";
         if (match t.in_flight with
            | Some d -> Sha256.equal d block.Qc.digest
            | None -> false)
@@ -484,6 +510,7 @@ let maybe_start_view_change_leadership t =
               Log.debug (fun m -> m "view %d: happy-path view change" t.cview);
               t.high <- High_qc.Single qc;
               t.mode <- Normal;
+              Obs.view_change_exit t.cfg.C.obs ~view:t.cview;
               try_propose t
           | Error _ -> start_pre_prepare t records
         end
@@ -523,16 +550,24 @@ let rec on_view_change_msg t (m : Message.t) last justify parsig =
       m.Message.view > t.cview
       && C.leader_of t.cfg m.Message.view = me t
       && List.length existing + 1 >= t.cfg.C.f + 1
-    then enter_view t m.Message.view ~send_vc:true
+    then begin
+      Obs.view_enter t.cfg.C.obs ~view:m.Message.view ~cause:"sync";
+      enter_view t m.Message.view ~send_vc:true
+    end
     else maybe_start_view_change_leadership t
   end
 
 and enter_view t view ~send_vc =
   t.cview <- view;
   reset_view_state t;
-  let timer = C.Timer (Pacemaker.current_timeout t.pacemaker) in
+  let timer =
+    C.timer
+      ~cause:(if send_vc then C.View_change else C.View_progress)
+      (Pacemaker.current_timeout t.pacemaker)
+  in
   let vc_actions =
     if send_vc then begin
+      Obs.view_change_enter t.cfg.C.obs ~view;
       let lb_ref = (Block.summary t.lb).Block.b_ref in
       let parsig =
         Auth.sign_vote t.auth ~signer:(me t) ~phase:Qc.Prepare ~view lb_ref
@@ -560,6 +595,7 @@ let pre_prepare_vote t (b : Block.t) (locked_attach : Qc.t option) =
     Auth.sign_vote t.auth ~signer:(me t) ~phase:Qc.Pre_prepare ~view:t.cview b_ref
   in
   ignore (note_block t b);
+  Obs.vote t.cfg.C.obs ~view:t.cview ~height:b_ref.Qc.height ~phase:"pre-prepare";
   Hashtbl.replace t.voted_pre_prepare (digest_key b_ref.Qc.digest) ();
   [
     C.Send
@@ -639,6 +675,7 @@ let try_finish_pre_prepare t =
     | Some high ->
         t.high <- high;
         t.mode <- Normal;
+        Obs.view_change_exit t.cfg.C.obs ~view:t.cview;
         (match high with
         | High_qc.Paired (ppqc, vc) ->
             Block_store.resolve_virtual_parent t.store
@@ -664,6 +701,8 @@ let on_pre_prepare_vote t (block : Qc.block_ref) partial locked =
       Vote_collector.add t.votes ~phase:Qc.Pre_prepare ~view:t.cview ~block partial
     with
     | Vote_collector.Quorum ppqc ->
+        Obs.qc_formed t.cfg.C.obs ~view:t.cview ~height:block.Qc.height
+          ~phase:"pre-prepare";
         t.formed_ppqcs <- ppqc :: t.formed_ppqcs;
         try_finish_pre_prepare t
     | Vote_collector.Counted _ ->
@@ -700,6 +739,7 @@ let maybe_fast_forward t (m : Message.t) =
         Log.debug (fun l ->
             l "replica %d: fast-forward %d -> %d" (me t) t.cview qc.Qc.view);
         Pacemaker.note_progress t.pacemaker;
+        Obs.view_enter t.cfg.C.obs ~view:m.Message.view ~cause:"fast-forward";
         enter_view t m.Message.view ~send_vc:false
     | None -> []
 
@@ -764,11 +804,12 @@ let rec settle t actions =
 let on_message t m = settle t (on_message t m)
 
 let on_start t =
-  C.Timer (Pacemaker.current_timeout t.pacemaker) :: settle t (try_propose t)
+  C.timer (Pacemaker.current_timeout t.pacemaker) :: settle t (try_propose t)
 
 let on_new_payload t = settle t (try_propose t)
 
 let force_view_change t =
+  Obs.view_enter t.cfg.C.obs ~view:(t.cview + 1) ~cause:"rotation";
   settle t (enter_view t (t.cview + 1) ~send_vc:true)
 
 let on_view_timeout t =
@@ -777,6 +818,7 @@ let on_view_timeout t =
      other replicas' operations. Idle clusters rotate views cheaply via
      the happy path, with exponential backoff bounding the rate. *)
   Pacemaker.note_view_change t.pacemaker;
+  Obs.view_enter t.cfg.C.obs ~view:(t.cview + 1) ~cause:"timeout";
   settle t (enter_view t (t.cview + 1) ~send_vc:true)
 
 end

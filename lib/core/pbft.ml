@@ -1,6 +1,7 @@
 open Marlin_types
 module Sha256 = Marlin_crypto.Sha256
 module C = Consensus_intf
+module Obs = Marlin_obs.Sink
 
 let name = "pbft"
 
@@ -77,8 +78,22 @@ let finish_commits t (r : Committer.result) =
   if r.Committer.committed = [] then r.Committer.sends
   else begin
     Pacemaker.note_progress t.pacemaker;
+    if Obs.enabled t.cfg.C.obs then begin
+      let blocks = List.length r.Committer.committed in
+      let ops =
+        List.fold_left
+          (fun acc b -> acc + Batch.length b.Block.payload)
+          0 r.Committer.committed
+      in
+      let height =
+        List.fold_left
+          (fun acc b -> max acc b.Block.height)
+          0 r.Committer.committed
+      in
+      Obs.commit t.cfg.C.obs ~view:t.cview ~height ~blocks ~ops
+    end;
     C.Commit r.Committer.committed
-    :: C.Timer (Pacemaker.current_timeout t.pacemaker)
+    :: C.timer (Pacemaker.current_timeout t.pacemaker)
     :: r.Committer.sends
   end
 
@@ -103,13 +118,24 @@ let rec try_propose t =
       in
       t.proposed_tip <- Block.to_ref b;
       ignore (note_block t b);
+      Obs.propose t.cfg.C.obs ~view:t.cview ~height:b.Block.height
+        ~txs:(Batch.length payload);
       C.Broadcast (msg t (Message.Propose { block = b; justify = High_qc.Single t.prepared }))
       :: try_propose t
     end
   end
 
+(* Static labels so emitting on the hot path allocates nothing. *)
+let phase_label = function
+  | Qc.Pre_prepare -> "pre-prepare"
+  | Qc.Prepare -> "prepare"
+  | Qc.Precommit -> "precommit"
+  | Qc.Commit -> "commit"
+
 let broadcast_vote t ~kind (block : Qc.block_ref) =
   let partial = Auth.sign_vote t.auth ~signer:(me t) ~phase:kind ~view:t.cview block in
+  Obs.vote t.cfg.C.obs ~view:t.cview ~height:block.Qc.height
+    ~phase:(phase_label kind);
   C.Broadcast (msg t (Message.Vote { kind; block; partial; locked = None }))
 
 (* Replica accepts a pre-prepare: at most one per (view, slot), and the
@@ -158,6 +184,8 @@ let on_prepare_vote t (block : Qc.block_ref) partial =
   match Vote_collector.add t.votes ~phase:Qc.Prepare ~view:t.cview ~block partial with
   | Vote_collector.Quorum qc ->
       (* prepared: remember the certificate, vote to commit *)
+      Obs.qc_formed t.cfg.C.obs ~view:t.cview ~height:block.Qc.height
+        ~phase:"prepare";
       if Rank.qc_gt qc t.prepared then t.prepared <- qc;
       let key = Sha256.to_raw block.Qc.digest in
       if Hashtbl.mem t.commit_voted key then []
@@ -172,6 +200,8 @@ let on_commit_vote t (block : Qc.block_ref) partial =
     Vote_collector.add t.commit_votes ~phase:Qc.Commit ~view:t.cview ~block partial
   with
   | Vote_collector.Quorum qc ->
+      Obs.qc_formed t.cfg.C.obs ~view:t.cview ~height:block.Qc.height
+        ~phase:"commit";
       let commits = deliver_commit t qc in
       commits @ try_propose t
   | Vote_collector.Counted _ | Vote_collector.Rejected _ -> []
@@ -186,6 +216,7 @@ let maybe_finish_vc t =
         let high = List.fold_left Rank.max_qc t.prepared proof in
         t.prepared <- high;
         t.collecting_vc <- false;
+        Obs.view_change_exit t.cfg.C.obs ~view:t.cview;
         (* the new view's chain is anchored on the chosen certificate *)
         t.anchor <- Some high.Qc.block;
         t.proposed_tip <- high.Qc.block;
@@ -217,7 +248,10 @@ let rec on_view_change_msg t (m : Message.t) qc =
       if
         m.Message.view > t.cview
         && List.length existing + 1 >= t.cfg.C.f + 1
-      then enter_view t m.Message.view ~send:true
+      then begin
+        Obs.view_enter t.cfg.C.obs ~view:m.Message.view ~cause:"sync";
+        enter_view t m.Message.view ~send:true
+      end
       else maybe_finish_vc t
     end
   end
@@ -236,9 +270,14 @@ and enter_view t view ~send =
   Hashtbl.iter
     (fun v _ -> if v < t.cview then Hashtbl.remove t.vc_msgs v)
     (Hashtbl.copy t.vc_msgs);
-  let timer = C.Timer (Pacemaker.current_timeout t.pacemaker) in
+  let timer =
+    C.timer
+      ~cause:(if send then C.View_change else C.View_progress)
+      (Pacemaker.current_timeout t.pacemaker)
+  in
   let vc =
     if send then begin
+      Obs.view_change_enter t.cfg.C.obs ~view;
       (* PBFT broadcasts view-change messages to everyone *)
       let m = msg t (Message.New_view { justify = t.prepared }) in
       C.Broadcast m :: on_view_change_msg t m t.prepared
@@ -262,6 +301,7 @@ let accept_new_view_proof t (m : Message.t) (justify : Qc.t) proof =
   else begin
     if m.Message.view > t.cview then ignore (enter_view t m.Message.view ~send:false);
     t.collecting_vc <- false;
+    Obs.view_change_exit t.cfg.C.obs ~view:t.cview;
     if Rank.qc_gt justify t.prepared then t.prepared <- justify;
     t.anchor <- Some justify.Qc.block;
     (* Join the new view's commit round for the in-flight backlog — even
@@ -271,7 +311,7 @@ let accept_new_view_proof t (m : Message.t) (justify : Qc.t) proof =
       if Qc.is_genesis justify then []
       else [ broadcast_vote t ~kind:Qc.Commit justify.Qc.block ]
     in
-    C.Timer (Pacemaker.current_timeout t.pacemaker) :: recommit
+    C.timer (Pacemaker.current_timeout t.pacemaker) :: recommit
   end
 
 (* ---------- dispatch ---------- *)
@@ -316,12 +356,15 @@ let rec settle t actions =
 let on_message t m = settle t (on_message t m)
 
 let on_start t =
-  C.Timer (Pacemaker.current_timeout t.pacemaker) :: settle t (try_propose t)
+  C.timer (Pacemaker.current_timeout t.pacemaker) :: settle t (try_propose t)
 
 let on_new_payload t = settle t (try_propose t)
 
-let force_view_change t = settle t (enter_view t (t.cview + 1) ~send:true)
+let force_view_change t =
+  Obs.view_enter t.cfg.C.obs ~view:(t.cview + 1) ~cause:"rotation";
+  settle t (enter_view t (t.cview + 1) ~send:true)
 
 let on_view_timeout t =
   Pacemaker.note_view_change t.pacemaker;
+  Obs.view_enter t.cfg.C.obs ~view:(t.cview + 1) ~cause:"timeout";
   settle t (enter_view t (t.cview + 1) ~send:true)

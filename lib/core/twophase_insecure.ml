@@ -70,7 +70,7 @@ let finish_commits t (r : Committer.result) =
   else begin
     Pacemaker.note_progress t.pacemaker;
     C.Commit r.Committer.committed
-    :: C.Timer (Pacemaker.current_timeout t.pacemaker)
+    :: C.timer (Pacemaker.current_timeout t.pacemaker)
     :: r.Committer.sends
   end
 
@@ -224,7 +224,11 @@ and enter_view t view ~send =
   t.collecting_vc <- is_leader t;
   Hashtbl.reset t.voted_commit;
   Vote_collector.gc_below_view t.votes t.cview;
-  let timer = C.Timer (Pacemaker.current_timeout t.pacemaker) in
+  let timer =
+    C.timer
+      ~cause:(if send then C.View_change else C.View_progress)
+      (Pacemaker.current_timeout t.pacemaker)
+  in
   let nv =
     if send then begin
       let m = msg t (Message.New_view { justify = t.high }) in
@@ -289,7 +293,7 @@ let rec settle t actions =
 let on_message t m = settle t (on_message t m)
 
 let on_start t =
-  C.Timer (Pacemaker.current_timeout t.pacemaker) :: settle t (try_propose t)
+  C.timer (Pacemaker.current_timeout t.pacemaker) :: settle t (try_propose t)
 
 let on_new_payload t = settle t (try_propose t)
 

@@ -1,0 +1,149 @@
+module Stats = Marlin_analysis.Stats
+module Message = Marlin_types.Message
+
+type dir_counter = { mutable msgs : int; mutable bytes : int; mutable auths : int }
+
+type kind_counter = { sent : dir_counter; recv : dir_counter }
+
+type t = {
+  replica : int;
+  by_kind : (string, kind_counter) Hashtbl.t;
+  mutable proposals : int;
+  mutable qcs : int;
+  mutable blocks_committed : int;
+  mutable ops_committed : int;
+  mutable view_changes : int;
+  mutable timer_fires : int;
+  first_seen : (int, float) Hashtbl.t;  (* height -> first proposal sighting *)
+  mutable commit_samples : float list;
+  mutable vc_open : float option;
+  mutable vc_samples : float list;
+}
+
+let create ~replica =
+  {
+    replica;
+    by_kind = Hashtbl.create 16;
+    proposals = 0;
+    qcs = 0;
+    blocks_committed = 0;
+    ops_committed = 0;
+    view_changes = 0;
+    timer_fires = 0;
+    first_seen = Hashtbl.create 64;
+    commit_samples = [];
+    vc_open = None;
+    vc_samples = [];
+  }
+
+let replica t = t.replica
+
+let zero () = { msgs = 0; bytes = 0; auths = 0 }
+
+let counter t kind =
+  match Hashtbl.find_opt t.by_kind kind with
+  | Some c -> c
+  | None ->
+      let c = { sent = zero (); recv = zero () } in
+      Hashtbl.replace t.by_kind kind c;
+      c
+
+let bump (c : dir_counter) ~size ~auths =
+  c.msgs <- c.msgs + 1;
+  c.bytes <- c.bytes + size;
+  c.auths <- c.auths + auths
+
+let count_sent t ~size m =
+  bump (counter t (Message.type_name m)).sent ~size
+    ~auths:(Message.authenticators m)
+
+let count_recv t ~size m =
+  bump (counter t (Message.type_name m)).recv ~size
+    ~auths:(Message.authenticators m)
+
+let kinds t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.by_kind [] |> List.sort String.compare
+
+let sent t ~kind =
+  match Hashtbl.find_opt t.by_kind kind with Some c -> c.sent | None -> zero ()
+
+let recv t ~kind =
+  match Hashtbl.find_opt t.by_kind kind with Some c -> c.recv | None -> zero ()
+
+let is_consensus_message (m : Message.t) =
+  match m.Message.payload with
+  | Message.Propose _ | Message.Vote _ | Message.Phase_cert _
+  | Message.View_change _ | Message.Pre_prepare _ | Message.New_view _
+  | Message.New_view_proof _ ->
+      true
+  | Message.Fetch _ | Message.Fetch_resp _ | Message.Client_op _
+  | Message.Client_reply _ ->
+      false
+
+let is_consensus_kind = function
+  | "FETCH" | "FETCH-RESP" | "CLIENT-OP" | "CLIENT-REPLY" -> false
+  | _ -> true
+
+let consensus_sent t =
+  let acc = zero () in
+  Hashtbl.iter
+    (fun kind c ->
+      if is_consensus_kind kind then begin
+        acc.msgs <- acc.msgs + c.sent.msgs;
+        acc.bytes <- acc.bytes + c.sent.bytes;
+        acc.auths <- acc.auths + c.sent.auths
+      end)
+    t.by_kind;
+  acc
+
+(* -- protocol events -- *)
+
+let note_propose t = t.proposals <- t.proposals + 1
+
+let note_proposal_seen t ~height ~time =
+  if not (Hashtbl.mem t.first_seen height) then
+    Hashtbl.replace t.first_seen height time
+
+let note_qc t = t.qcs <- t.qcs + 1
+
+let note_commit t ~height ~blocks ~ops ~time =
+  t.blocks_committed <- t.blocks_committed + blocks;
+  t.ops_committed <- t.ops_committed + ops;
+  let closed =
+    Hashtbl.fold
+      (fun h t0 acc -> if h <= height then (h, t0) :: acc else acc)
+      t.first_seen []
+  in
+  List.iter
+    (fun (h, t0) ->
+      Hashtbl.remove t.first_seen h;
+      t.commit_samples <- (time -. t0) :: t.commit_samples)
+    closed;
+  match t.vc_open with
+  | Some t0 ->
+      t.vc_samples <- (time -. t0) :: t.vc_samples;
+      t.vc_open <- None
+  | None -> ()
+
+let note_view_change_enter t ~time =
+  t.view_changes <- t.view_changes + 1;
+  if t.vc_open = None then t.vc_open <- Some time
+
+let note_view_change_exit t ~time =
+  match t.vc_open with
+  | Some t0 ->
+      t.vc_samples <- (time -. t0) :: t.vc_samples;
+      t.vc_open <- None
+  | None -> ()
+
+let note_timer_fired t = t.timer_fires <- t.timer_fires + 1
+
+let proposals t = t.proposals
+let qcs t = t.qcs
+let blocks_committed t = t.blocks_committed
+let ops_committed t = t.ops_committed
+let view_changes t = t.view_changes
+let timer_fires t = t.timer_fires
+
+let commit_latency t = Stats.summarize t.commit_samples
+let vc_latency t = Stats.summarize t.vc_samples

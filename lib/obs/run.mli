@@ -1,0 +1,49 @@
+(** One observed run: the shared trace buffer plus one metrics registry
+    per replica, with exporters.
+
+    The runtime creates a [Run.t], hands each replica a {!Sink.t} made
+    from it, and points the network simulator at it; after the run the
+    exporters render a JSONL trace and a CSV or JSON metrics summary. *)
+
+type t
+
+val create : ?trace:bool -> n:int -> unit -> t
+(** [n] replicas. [trace] (default [false]) allocates the event buffer —
+    metrics are always on for a created run. *)
+
+val sink : t -> clock:(unit -> float) -> replica:int -> Sink.t
+val handle : t -> clock:(unit -> float) -> replica:int -> Sink.handle
+val metrics : t -> Metrics.t array
+val trace_events : t -> Trace.event list
+(** Oldest first; empty when tracing was off. *)
+
+(* -- network-layer hooks (called by Netsim when attached) -- *)
+
+val net_queued :
+  t -> time:float -> src:int -> dst:int -> size:int -> depart:float ->
+  Marlin_types.Message.t -> unit
+(** A message entered [src]'s NIC queue; counts it as sent when [src] is a
+    replica and traces the queueing event. *)
+
+val net_delivered :
+  t -> time:float -> src:int -> dst:int -> size:int ->
+  Marlin_types.Message.t -> unit
+
+(* -- exporters -- *)
+
+val write_trace : ?run:string -> out_channel -> t -> unit
+(** JSONL, one event per line. *)
+
+val metrics_csv_header : string
+(** [label,replica,row,name,msgs,bytes,auths,count,mean,p50,p95,p99,min,max]
+    — one header for all row types. *)
+
+val metrics_csv : ?label:string -> t -> string
+(** Data rows only (append after {!metrics_csv_header}; several labelled
+    runs can share one file). Row types: [sent]/[recv] rows carry
+    per-message-kind msgs/bytes/auths; [counter] rows carry one event
+    counter in the [msgs] column; [hist] rows carry a latency summary in
+    the count..max columns (seconds). *)
+
+val metrics_json : ?label:string -> t -> string
+(** The same content as one JSON object. *)

@@ -1,0 +1,89 @@
+type t = {
+  replica : int;
+  clock : unit -> float;
+  trace : Trace.buffer option;
+  metrics : Metrics.t;
+}
+
+type handle = t option
+
+let none : handle = None
+let make ~replica ~clock ?trace ~metrics () = { replica; clock; trace; metrics }
+let enabled = function None -> false | Some _ -> true
+
+let record s ~time ~view ~height kind =
+  match s.trace with
+  | Some buf ->
+      Trace.add buf { Trace.time; replica = s.replica; view; height; kind }
+  | None -> ()
+
+let propose h ~view ~height ~txs =
+  match h with
+  | None -> ()
+  | Some s ->
+      let time = s.clock () in
+      Metrics.note_propose s.metrics;
+      Metrics.note_proposal_seen s.metrics ~height ~time;
+      record s ~time ~view ~height (Trace.Propose { txs })
+
+let vote h ~view ~height ~phase =
+  match h with
+  | None -> ()
+  | Some s ->
+      let time = s.clock () in
+      Metrics.note_proposal_seen s.metrics ~height ~time;
+      record s ~time ~view ~height (Trace.Vote_sent { phase })
+
+let qc_formed h ~view ~height ~phase =
+  match h with
+  | None -> ()
+  | Some s ->
+      let time = s.clock () in
+      Metrics.note_qc s.metrics;
+      record s ~time ~view ~height (Trace.Qc_formed { phase })
+
+let commit h ~view ~height ~blocks ~ops =
+  match h with
+  | None -> ()
+  | Some s ->
+      let time = s.clock () in
+      Metrics.note_commit s.metrics ~height ~blocks ~ops ~time;
+      record s ~time ~view ~height (Trace.Commit { blocks; ops })
+
+let view_enter h ~view ~cause =
+  match h with
+  | None -> ()
+  | Some s ->
+      let time = s.clock () in
+      record s ~time ~view ~height:(-1) (Trace.View_enter { cause })
+
+let view_change_enter h ~view =
+  match h with
+  | None -> ()
+  | Some s ->
+      let time = s.clock () in
+      Metrics.note_view_change_enter s.metrics ~time;
+      record s ~time ~view ~height:(-1) Trace.View_change_enter
+
+let view_change_exit h ~view =
+  match h with
+  | None -> ()
+  | Some s ->
+      let time = s.clock () in
+      Metrics.note_view_change_exit s.metrics ~time;
+      record s ~time ~view ~height:(-1) Trace.View_change_exit
+
+let timer_armed h ~view ~after ~cause =
+  match h with
+  | None -> ()
+  | Some s ->
+      let time = s.clock () in
+      record s ~time ~view ~height:(-1) (Trace.Timer_armed { after; cause })
+
+let timer_fired h ~view ~cause =
+  match h with
+  | None -> ()
+  | Some s ->
+      let time = s.clock () in
+      Metrics.note_timer_fired s.metrics;
+      record s ~time ~view ~height:(-1) (Trace.Timer_fired { cause })

@@ -1,0 +1,41 @@
+(** The per-replica emission point protocols and the runtime write to.
+
+    A sink is a handle that is either absent ([none]) or carries a clock,
+    a metrics registry, and optionally a shared trace buffer. Every
+    emission function takes the handle first and returns immediately on
+    [None] {e without allocating} — the disabled path costs one branch, so
+    protocols can emit unconditionally on their hot paths. Phase and cause
+    arguments are expected to be string literals (statically allocated)
+    for the same reason. *)
+
+type t = {
+  replica : int;
+  clock : unit -> float;  (** simulated time *)
+  trace : Trace.buffer option;
+  metrics : Metrics.t;
+}
+
+type handle = t option
+
+val none : handle
+
+val make :
+  replica:int -> clock:(unit -> float) -> ?trace:Trace.buffer ->
+  metrics:Metrics.t -> unit -> t
+
+val enabled : handle -> bool
+
+(* -- protocol events -- *)
+
+val propose : handle -> view:int -> height:int -> txs:int -> unit
+val vote : handle -> view:int -> height:int -> phase:string -> unit
+val qc_formed : handle -> view:int -> height:int -> phase:string -> unit
+val commit : handle -> view:int -> height:int -> blocks:int -> ops:int -> unit
+val view_enter : handle -> view:int -> cause:string -> unit
+val view_change_enter : handle -> view:int -> unit
+val view_change_exit : handle -> view:int -> unit
+
+(* -- runtime events -- *)
+
+val timer_armed : handle -> view:int -> after:float -> cause:string -> unit
+val timer_fired : handle -> view:int -> cause:string -> unit

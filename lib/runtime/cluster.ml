@@ -22,6 +22,7 @@ type params = {
   max_timeout : float;
   rotation : float option;
   seed : int;
+  obs : Marlin_obs.Run.t option;
 }
 
 let default_params =
@@ -40,6 +41,7 @@ let default_params =
     max_timeout = 16.0;
     rotation = None;
     seed = 1;
+    obs = None;
   }
 
 let params_for_f ?(clients = 16) f =
@@ -49,6 +51,7 @@ module Make (P : C.PROTOCOL) = struct
   type replica = {
     id : int;
     proto : P.t;
+    obs : Marlin_obs.Sink.handle;
     mempool : Mempool.t;
     disk : Sim_disk.t;
     mutable cpu_free : float;
@@ -158,11 +161,16 @@ module Make (P : C.PROTOCOL) = struct
             for dst = 0 to t.params.n - 1 do
               if dst <> r.id then send t ~earliest:finish ~src:r.id ~dst msg
             done
-        | C.Timer d ->
+        | C.Timer { duration = d; cause } ->
             r.timer_gen <- r.timer_gen + 1;
             let gen = r.timer_gen in
+            Marlin_obs.Sink.timer_armed r.obs ~view:(P.current_view r.proto)
+              ~after:d ~cause:(C.timer_cause_label cause);
             Sim.schedule_at t.sim ~time:(finish +. d) (fun () ->
                 if (not r.crashed) && gen = r.timer_gen then begin
+                  Marlin_obs.Sink.timer_fired r.obs
+                    ~view:(P.current_view r.proto)
+                    ~cause:(C.timer_cause_label cause);
                   let view_before = P.current_view r.proto in
                   let start = Float.max (Sim.now t.sim) r.cpu_free in
                   let actions = P.on_view_timeout r.proto in
@@ -311,24 +319,28 @@ module Make (P : C.PROTOCOL) = struct
       Cost_model.combined_size params.cost_model ~n:params.n
         ~shares:(params.n - params.f)
     in
+    Netsim.set_obs net params.obs;
     let make_replica id =
       let mempool = Mempool.create () in
+      let obs =
+        match params.obs with
+        | None -> Marlin_obs.Sink.none
+        | Some run ->
+            Marlin_obs.Run.handle run ~clock:(fun () -> Sim.now sim) ~replica:id
+      in
       let cfg =
-        {
-          C.id;
-          n = params.n;
-          f = params.f;
-          keychain;
-          cost = params.cost_model;
-          get_batch = (fun () -> Batch.of_list (Mempool.take mempool ~max:params.batch_max));
-          has_pending = (fun () -> Mempool.pending mempool > 0);
-          base_timeout = params.base_timeout;
-          max_timeout = params.max_timeout;
-        }
+        C.Config.make ~id ~n:params.n ~f:params.f ~keychain
+          ~cost:params.cost_model
+          ~get_batch:(fun () ->
+            Batch.of_list (Mempool.take mempool ~max:params.batch_max))
+          ~has_pending:(fun () -> Mempool.pending mempool > 0)
+          ~base_timeout:params.base_timeout ~max_timeout:params.max_timeout
+          ~obs ()
       in
       {
         id;
         proto = P.create cfg;
+        obs;
         mempool;
         disk = Sim_disk.create params.disk;
         cpu_free = 0.;

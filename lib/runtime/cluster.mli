@@ -24,6 +24,10 @@ type params = {
   max_timeout : float;
   rotation : float option;  (** rotate leaders every [t] seconds *)
   seed : int;
+  obs : Marlin_obs.Run.t option;
+      (** when set, per-replica sinks are attached to the protocols, timer
+          events are emitted by the runtime, and the network simulator
+          feeds the run's message counters and trace *)
 }
 
 val default_params : params

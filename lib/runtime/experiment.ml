@@ -1,10 +1,56 @@
-open Marlin_types
 module C = Marlin_core.Consensus_intf
 module Stats = Marlin_analysis.Stats
 module Netsim = Marlin_sim.Netsim
 module Sim = Marlin_sim.Sim
 
-type throughput_result = {
+module Result = struct
+  type throughput = {
+    clients : int;
+    throughput : float;
+    latency : Stats.summary;
+    agreement : bool;
+    executed : int;
+  }
+
+  type view_change = {
+    vc_latency : float;
+    unhappy : bool;
+    vc_bytes : int;
+    vc_authenticators : int;
+    vc_messages : int;
+  }
+
+  let pp_throughput fmt r =
+    Format.fprintf fmt
+      "clients=%d throughput=%.0f ops/s latency(mean=%.4fs p95=%.4fs) %s"
+      r.clients r.throughput r.latency.Stats.mean r.latency.Stats.p95
+      (if r.agreement then "agreement=ok" else "AGREEMENT VIOLATED")
+
+  let pp_view_change fmt r =
+    Format.fprintf fmt
+      "vc_latency=%.4fs path=%s messages=%d bytes=%d authenticators=%d"
+      r.vc_latency
+      (if r.unhappy then "unhappy" else "happy")
+      r.vc_messages r.vc_bytes r.vc_authenticators
+
+  let summary_json (s : Stats.summary) =
+    Printf.sprintf
+      {|{"count":%d,"mean":%.6f,"p50":%.6f,"p95":%.6f,"p99":%.6f,"min":%.6f,"max":%.6f}|}
+      s.Stats.count s.Stats.mean s.Stats.p50 s.Stats.p95 s.Stats.p99
+      s.Stats.min s.Stats.max
+
+  let throughput_to_json r =
+    Printf.sprintf
+      {|{"clients":%d,"throughput":%.2f,"latency":%s,"agreement":%b,"executed":%d}|}
+      r.clients r.throughput (summary_json r.latency) r.agreement r.executed
+
+  let view_change_to_json r =
+    Printf.sprintf
+      {|{"vc_latency":%.6f,"unhappy":%b,"vc_bytes":%d,"vc_authenticators":%d,"vc_messages":%d}|}
+      r.vc_latency r.unhappy r.vc_bytes r.vc_authenticators r.vc_messages
+end
+
+type throughput_result = Result.throughput = {
   clients : int;
   throughput : float;
   latency : Stats.summary;
@@ -12,8 +58,15 @@ type throughput_result = {
   executed : int;
 }
 
-let run_throughput (module P : C.PROTOCOL) (params : Cluster.params) ~warmup
-    ~duration =
+type vc_result = Result.view_change = {
+  vc_latency : float;
+  unhappy : bool;
+  vc_bytes : int;
+  vc_authenticators : int;
+  vc_messages : int;
+}
+
+let run_throughput (module P : C.PROTOCOL) ~params ~warmup ~duration =
   let module Cl = Cluster.Make (P) in
   let t = Cl.create params in
   Cl.run t ~until:(warmup +. duration);
@@ -30,10 +83,11 @@ let run_throughput (module P : C.PROTOCOL) (params : Cluster.params) ~warmup
     executed;
   }
 
-let sweep proto params ~warmup ~duration ~client_counts =
+let sweep proto ~params ~warmup ~duration ~client_counts =
   List.map
     (fun clients ->
-      run_throughput proto { params with Cluster.clients } ~warmup ~duration)
+      run_throughput proto ~params:{ params with Cluster.clients } ~warmup
+        ~duration)
     client_counts
 
 let peak ?latency_cap results =
@@ -51,26 +105,7 @@ let peak ?latency_cap results =
       | [] -> best results
       | within -> best within)
 
-type vc_result = {
-  vc_latency : float;
-  unhappy : bool;
-  vc_bytes : int;
-  vc_authenticators : int;
-  vc_messages : int;
-}
-
-let consensus_message (m : Message.t) =
-  match m.Message.payload with
-  | Message.Propose _ | Message.Vote _ | Message.Phase_cert _
-  | Message.View_change _ | Message.Pre_prepare _ | Message.New_view _
-  | Message.New_view_proof _ ->
-      true
-  | Message.Fetch _ | Message.Fetch_resp _ | Message.Client_op _
-  | Message.Client_reply _ ->
-      false
-
-let run_view_change (module P : C.PROTOCOL) (params : Cluster.params)
-    ~force_unhappy =
+let run_view_change (module P : C.PROTOCOL) ~params ~force_unhappy =
   let module Cl = Cluster.Make (P) in
   let t = Cl.create params in
   let sim = Cl.sim t in
@@ -84,9 +119,10 @@ let run_view_change (module P : C.PROTOCOL) (params : Cluster.params)
   Netsim.on_send net
     (Some
        (fun ~src:_ ~dst:_ ~size m ->
-         if consensus_message m then
+         if Marlin_obs.Metrics.is_consensus_message m then
            events :=
-             (Sim.now sim, size, Message.authenticators m) :: !events));
+             (Sim.now sim, size, Marlin_types.Message.authenticators m)
+             :: !events));
   if force_unhappy then
     (* Divergence without timer skew: during the window the doomed
        leader's proposals reach only replica 1. Replica 1 votes for one
@@ -133,8 +169,7 @@ let run_view_change (module P : C.PROTOCOL) (params : Cluster.params)
     vc_messages = vc_msgs;
   }
 
-let run_with_crashes (module P : C.PROTOCOL) (params : Cluster.params) ~crashed
-    ~warmup ~duration =
+let run_with_crashes (module P : C.PROTOCOL) ~params ~crashed ~warmup ~duration =
   let module Cl = Cluster.Make (P) in
   let t = Cl.create params in
   List.iter (fun id -> Cl.crash t ~at:0.0 id) crashed;

@@ -2,23 +2,58 @@
     paper's figures (throughput/latency sweeps, peak throughput,
     view-change latency, rotating leaders under crash faults). *)
 
-type throughput_result = {
+(** The result records, with shared printers and JSON renderers so every
+    harness (bench targets, tests, ad-hoc scripts) reports them the same
+    way. *)
+module Result : sig
+  type throughput = {
+    clients : int;
+    throughput : float;  (** committed operations per second, steady state *)
+    latency : Marlin_analysis.Stats.summary;  (** client latency, seconds *)
+    agreement : bool;  (** did all live replicas agree? *)
+    executed : int;  (** ops executed in the window at the probe replica *)
+  }
+
+  type view_change = {
+    vc_latency : float;  (** seconds, view-change start to first commit *)
+    unhappy : bool;  (** did the PRE-PREPARE phase run (Marlin only)? *)
+    vc_bytes : int;  (** consensus bytes on the wire during the view change *)
+    vc_authenticators : int;
+    vc_messages : int;
+  }
+
+  val pp_throughput : Format.formatter -> throughput -> unit
+  val pp_view_change : Format.formatter -> view_change -> unit
+  val throughput_to_json : throughput -> string
+  val view_change_to_json : view_change -> string
+end
+
+type throughput_result = Result.throughput = {
   clients : int;
-  throughput : float;  (** committed operations per second, steady state *)
-  latency : Marlin_analysis.Stats.summary;  (** client latency, seconds *)
-  agreement : bool;  (** did all live replicas agree? *)
-  executed : int;  (** ops executed in the window at the probe replica *)
+  throughput : float;
+  latency : Marlin_analysis.Stats.summary;
+  agreement : bool;
+  executed : int;
+}
+
+type vc_result = Result.view_change = {
+  vc_latency : float;
+  unhappy : bool;
+  vc_bytes : int;
+  vc_authenticators : int;
+  vc_messages : int;
 }
 
 val run_throughput :
-  Marlin_core.Consensus_intf.protocol -> Cluster.params -> warmup:float ->
-  duration:float -> throughput_result
+  Marlin_core.Consensus_intf.protocol -> params:Cluster.params ->
+  warmup:float -> duration:float -> throughput_result
 (** Run the cluster for [warmup + duration] simulated seconds and measure
     over the steady-state window. *)
 
 val sweep :
-  Marlin_core.Consensus_intf.protocol -> Cluster.params -> warmup:float ->
-  duration:float -> client_counts:int list -> throughput_result list
+  Marlin_core.Consensus_intf.protocol -> params:Cluster.params ->
+  warmup:float -> duration:float -> client_counts:int list ->
+  throughput_result list
 (** One throughput/latency point per client count (a figure 10a-f curve). *)
 
 val peak : ?latency_cap:float -> throughput_result list -> throughput_result
@@ -29,16 +64,8 @@ val peak : ?latency_cap:float -> throughput_result list -> throughput_result
     the overall maximum when no point qualifies.
     @raise Invalid_argument on the empty list. *)
 
-type vc_result = {
-  vc_latency : float;  (** seconds from view-change start to first commit *)
-  unhappy : bool;  (** did the PRE-PREPARE phase run (Marlin only)? *)
-  vc_bytes : int;  (** consensus bytes on the wire during the view change *)
-  vc_authenticators : int;
-  vc_messages : int;
-}
-
 val run_view_change :
-  Marlin_core.Consensus_intf.protocol -> Cluster.params ->
+  Marlin_core.Consensus_intf.protocol -> params:Cluster.params ->
   force_unhappy:bool -> vc_result
 (** Warm the cluster up, crash the leader, and measure the paper's
     view-change latency: from the instant a replica escalates its timeout
@@ -48,7 +75,7 @@ val run_view_change :
     (PRE-PREPARE) runs. *)
 
 val run_with_crashes :
-  Marlin_core.Consensus_intf.protocol -> Cluster.params -> crashed:int list ->
-  warmup:float -> duration:float -> throughput_result
+  Marlin_core.Consensus_intf.protocol -> params:Cluster.params ->
+  crashed:int list -> warmup:float -> duration:float -> throughput_result
 (** Crash the given replicas at time 0 (rotating-leader experiments,
     Figure 10j). *)

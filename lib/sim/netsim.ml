@@ -28,6 +28,7 @@ type t = {
     (src:int -> dst:int -> Marlin_types.Message.t -> bool) option;
   mutable meter :
     (src:int -> dst:int -> size:int -> Marlin_types.Message.t -> unit) option;
+  mutable obs : Marlin_obs.Run.t option;
   mutable stats : stats;
 }
 
@@ -41,12 +42,17 @@ let create sim rng config ~endpoints =
     crashed = Array.make endpoints false;
     link_filter = None;
     meter = None;
+    obs = None;
     stats = { messages = 0; bytes = 0; authenticators = 0 };
   }
 
 let register t ~id handler = t.handlers.(id) <- Some handler
 
-let deliver t ~src ~dst msg =
+let deliver t ~src ~dst ~size msg =
+  (match t.obs with
+  | Some run ->
+      Marlin_obs.Run.net_delivered run ~time:(Sim.now t.sim) ~src ~dst ~size msg
+  | None -> ());
   if not t.crashed.(dst) then
     match t.handlers.(dst) with
     | Some handler -> handler ~src msg
@@ -68,8 +74,15 @@ let send t ?earliest ~src ~dst ~size msg =
             t.stats.authenticators + Marlin_types.Message.authenticators msg;
         };
       (match t.meter with Some f -> f ~src ~dst ~size msg | None -> ());
-      if src = dst then
-        Sim.schedule_at t.sim ~time:earliest (fun () -> deliver t ~src ~dst msg)
+      if src = dst then begin
+        (match t.obs with
+        | Some run ->
+            Marlin_obs.Run.net_queued run ~time:now ~src ~dst ~size
+              ~depart:earliest msg
+        | None -> ());
+        Sim.schedule_at t.sim ~time:earliest (fun () ->
+            deliver t ~src ~dst ~size msg)
+      end
       else begin
         let depart = Float.max earliest t.nic_free.(src) in
         (* x /. infinity = 0., so an unbounded uplink costs nothing. *)
@@ -80,8 +93,13 @@ let send t ?earliest ~src ~dst ~size msg =
           if depart < t.config.gst then Rng.float t.rng t.config.pre_gst_extra
           else 0.
         in
+        (match t.obs with
+        | Some run ->
+            Marlin_obs.Run.net_queued run ~time:now ~src ~dst ~size ~depart msg
+        | None -> ());
         let arrival = depart +. tx +. t.config.latency +. jitter +. pre_gst in
-        Sim.schedule_at t.sim ~time:arrival (fun () -> deliver t ~src ~dst msg)
+        Sim.schedule_at t.sim ~time:arrival (fun () ->
+            deliver t ~src ~dst ~size msg)
       end
     end
 
@@ -89,5 +107,6 @@ let crash t id = t.crashed.(id) <- true
 let is_crashed t id = t.crashed.(id)
 let set_link_filter t f = t.link_filter <- f
 let on_send t f = t.meter <- f
+let set_obs t run = t.obs <- run
 let stats t = t.stats
 let reset_stats t = t.stats <- { messages = 0; bytes = 0; authenticators = 0 }

@@ -53,6 +53,12 @@ val on_send :
   t -> (src:int -> dst:int -> size:int -> Marlin_types.Message.t -> unit) option -> unit
 (** Metering hook, called for every accepted send (before delivery). *)
 
+val set_obs : t -> Marlin_obs.Run.t option -> unit
+(** Attach an observability run: every accepted send emits a [net-queued]
+    event (with its computed departure time) and every delivery a
+    [net-delivered] event, and per-replica sent/received message counters
+    are fed with the same wire sizes the simulator charges for. *)
+
 (** Aggregate counters since creation. *)
 type stats = { messages : int; bytes : int; authenticators : int }
 

@@ -47,25 +47,17 @@ module Make (P : C.PROTOCOL) = struct
       let pending_ops = Queue.create () in
       let taken_ops = ref [] in
       let cfg =
-        {
-          C.id;
-          n;
-          f;
-          keychain;
-          cost = Marlin_crypto.Cost_model.ecdsa_group;
-          get_batch =
-            (fun () ->
-              let rec take k acc =
-                if k = 0 || Queue.is_empty pending_ops then List.rev acc
-                else take (k - 1) (Queue.pop pending_ops :: acc)
-              in
-              let batch = take batch_max [] in
-              taken_ops := !taken_ops @ batch;
-              Batch.of_list batch);
-          has_pending = (fun () -> not (Queue.is_empty pending_ops));
-          base_timeout = 1.0;
-          max_timeout = 60.0;
-        }
+        C.Config.make ~id ~n ~f ~keychain
+          ~get_batch:(fun () ->
+            let rec take k acc =
+              if k = 0 || Queue.is_empty pending_ops then List.rev acc
+              else take (k - 1) (Queue.pop pending_ops :: acc)
+            in
+            let batch = take batch_max [] in
+            taken_ops := !taken_ops @ batch;
+            Batch.of_list batch)
+          ~has_pending:(fun () -> not (Queue.is_empty pending_ops))
+          ~base_timeout:1.0 ~max_timeout:60.0 ()
       in
       {
         id;
@@ -136,7 +128,7 @@ module Make (P : C.PROTOCOL) = struct
               node.pending_ops;
             Queue.clear node.pending_ops;
             Queue.transfer keep node.pending_ops
-        | C.Timer d -> t.nodes.(id).last_timer <- d)
+        | C.Timer { duration; cause = _ } -> t.nodes.(id).last_timer <- duration)
       actions
 
   (* Like the runtime's mempool, operations batched into blocks that a

@@ -11,18 +11,7 @@ module Sha256 = Marlin_crypto.Sha256
 
 let kc = Keychain.create ~n:4 ()
 
-let cfg id =
-  {
-    C.id;
-    n = 4;
-    f = 1;
-    keychain = kc;
-    cost = Cost_model.ecdsa_group;
-    get_batch = (fun () -> Batch.empty);
-    has_pending = (fun () -> false);
-    base_timeout = 1.0;
-    max_timeout = 8.0;
-  }
+let cfg id = C.Config.make ~id ~n:4 ~f:1 ~keychain:kc ~max_timeout:8.0 ()
 
 let auth ?(id = 0) () =
   Core.Auth.create ~keychain:kc ~meter:(Core.Cpu_meter.create Cost_model.ecdsa_group)

@@ -17,7 +17,7 @@ let small_params ?(clients = 16) () =
   { (Cluster.params_for_f ~clients 1) with Cluster.seed = 7 }
 
 let test_marlin_cluster_commits () =
-  let r = Experiment.run_throughput marlin (small_params ()) ~warmup:1.0 ~duration:3.0 in
+  let r = Experiment.run_throughput marlin ~params:(small_params ()) ~warmup:1.0 ~duration:3.0 in
   Alcotest.(check bool) "agreement" true r.Experiment.agreement;
   Alcotest.(check bool) "throughput positive" true (r.Experiment.throughput > 0.);
   (* 16 closed-loop clients, RTT ~ 80ms+: tens of ops/s at least. *)
@@ -28,7 +28,7 @@ let test_marlin_cluster_commits () =
     && r.Experiment.latency.Marlin_analysis.Stats.mean < 1.0)
 
 let test_hotstuff_cluster_commits () =
-  let r = Experiment.run_throughput hotstuff (small_params ()) ~warmup:1.0 ~duration:3.0 in
+  let r = Experiment.run_throughput hotstuff ~params:(small_params ()) ~warmup:1.0 ~duration:3.0 in
   Alcotest.(check bool) "agreement" true r.Experiment.agreement;
   Alcotest.(check bool) "throughput positive" true (r.Experiment.throughput > 30.)
 
@@ -37,8 +37,8 @@ let test_hotstuff_cluster_commits () =
    client count strictly higher. *)
 let test_marlin_beats_hotstuff () =
   let params = small_params ~clients:32 () in
-  let m = Experiment.run_throughput marlin params ~warmup:1.0 ~duration:4.0 in
-  let h = Experiment.run_throughput hotstuff params ~warmup:1.0 ~duration:4.0 in
+  let m = Experiment.run_throughput marlin ~params ~warmup:1.0 ~duration:4.0 in
+  let h = Experiment.run_throughput hotstuff ~params ~warmup:1.0 ~duration:4.0 in
   let open Marlin_analysis.Stats in
   Alcotest.(check bool) "Marlin latency lower" true
     (m.Experiment.latency.mean < h.Experiment.latency.mean);
@@ -48,14 +48,14 @@ let test_marlin_beats_hotstuff () =
 let test_basic_protocols_in_cluster () =
   List.iter
     (fun proto ->
-      let r = Experiment.run_throughput proto (small_params ()) ~warmup:1.0 ~duration:2.0 in
+      let r = Experiment.run_throughput proto ~params:(small_params ()) ~warmup:1.0 ~duration:2.0 in
       Alcotest.(check bool) "agreement" true r.Experiment.agreement;
       Alcotest.(check bool) "commits" true (r.Experiment.throughput > 0.))
     [ basic_marlin; basic_hotstuff ]
 
 let test_view_change_recovers () =
   let params = small_params () in
-  let r = Experiment.run_view_change marlin params ~force_unhappy:false in
+  let r = Experiment.run_view_change marlin ~params ~force_unhappy:false in
   Alcotest.(check bool) "view change completed" true
     (Float.is_finite r.Experiment.vc_latency);
   Alcotest.(check bool) "latency positive" true (r.Experiment.vc_latency > 0.);
@@ -64,18 +64,18 @@ let test_view_change_recovers () =
 
 let test_forced_unhappy_view_change () =
   let params = small_params () in
-  let r = Experiment.run_view_change marlin params ~force_unhappy:true in
+  let r = Experiment.run_view_change marlin ~params ~force_unhappy:true in
   Alcotest.(check bool) "view change completed" true
     (Float.is_finite r.Experiment.vc_latency);
   Alcotest.(check bool) "unhappy path ran" true r.Experiment.unhappy;
-  let happy = Experiment.run_view_change marlin params ~force_unhappy:false in
+  let happy = Experiment.run_view_change marlin ~params ~force_unhappy:false in
   Alcotest.(check bool) "unhappy slower than happy" true
     (r.Experiment.vc_latency > happy.Experiment.vc_latency)
 
 let test_hotstuff_view_change () =
-  let r = Experiment.run_view_change hotstuff (small_params ()) ~force_unhappy:false in
+  let r = Experiment.run_view_change hotstuff ~params:(small_params ()) ~force_unhappy:false in
   Alcotest.(check bool) "completed" true (Float.is_finite r.Experiment.vc_latency);
-  let m = Experiment.run_view_change marlin (small_params ()) ~force_unhappy:false in
+  let m = Experiment.run_view_change marlin ~params:(small_params ()) ~force_unhappy:false in
   Alcotest.(check bool) "Marlin happy VC faster than HotStuff" true
     (m.Experiment.vc_latency < r.Experiment.vc_latency)
 
@@ -83,7 +83,7 @@ let test_rotating_leaders () =
   let params =
     { (small_params ()) with Cluster.rotation = Some 0.5; base_timeout = 0.4 }
   in
-  let r = Experiment.run_throughput marlin params ~warmup:1.0 ~duration:4.0 in
+  let r = Experiment.run_throughput marlin ~params ~warmup:1.0 ~duration:4.0 in
   Alcotest.(check bool) "agreement under rotation" true r.Experiment.agreement;
   Alcotest.(check bool) "commits under rotation" true (r.Experiment.throughput > 0.)
 
@@ -96,9 +96,9 @@ let test_rotation_under_crashes () =
       seed = 11;
     }
   in
-  let healthy = Experiment.run_with_crashes marlin params ~crashed:[] ~warmup:1.0 ~duration:5.0 in
+  let healthy = Experiment.run_with_crashes marlin ~params ~crashed:[] ~warmup:1.0 ~duration:5.0 in
   let faulty =
-    Experiment.run_with_crashes marlin params ~crashed:[ 9 ] ~warmup:1.0 ~duration:5.0
+    Experiment.run_with_crashes marlin ~params ~crashed:[ 9 ] ~warmup:1.0 ~duration:5.0
   in
   Alcotest.(check bool) "healthy commits" true (healthy.Experiment.throughput > 0.);
   Alcotest.(check bool) "faulty cluster still commits" true
@@ -108,10 +108,10 @@ let test_rotation_under_crashes () =
 
 let test_noop_faster () =
   let params = small_params ~clients:64 () in
-  let with_payload = Experiment.run_throughput marlin params ~warmup:1.0 ~duration:3.0 in
+  let with_payload = Experiment.run_throughput marlin ~params ~warmup:1.0 ~duration:3.0 in
   let noop =
     Experiment.run_throughput marlin
-      { params with Cluster.op_size = 0; reply_size = 0 }
+      ~params:{ params with Cluster.op_size = 0; reply_size = 0 }
       ~warmup:1.0 ~duration:3.0
   in
   Alcotest.(check bool) "no-op at least as fast" true
@@ -123,7 +123,7 @@ let test_noop_faster () =
 let test_latency_hop_ordering () =
   let params = small_params ~clients:4 () in
   let lat proto =
-    (Experiment.run_throughput proto params ~warmup:1.0 ~duration:3.0)
+    (Experiment.run_throughput proto ~params ~warmup:1.0 ~duration:3.0)
       .Experiment.latency.Marlin_analysis.Stats.mean
   in
   let p = lat pbft and m = lat basic_marlin and h = lat basic_hotstuff in
@@ -135,13 +135,13 @@ let test_latency_hop_ordering () =
     (m /. p < 2.0 && h /. m < 2.0)
 
 let test_pbft_cluster () =
-  let r = Experiment.run_throughput pbft (small_params ()) ~warmup:1.0 ~duration:3.0 in
+  let r = Experiment.run_throughput pbft ~params:(small_params ()) ~warmup:1.0 ~duration:3.0 in
   Alcotest.(check bool) "agreement" true r.Experiment.agreement;
   Alcotest.(check bool) "throughput positive" true (r.Experiment.throughput > 30.)
 
 let test_sweep_and_peak () =
   let results =
-    Experiment.sweep marlin (small_params ()) ~warmup:1.0 ~duration:2.0
+    Experiment.sweep marlin ~params:(small_params ()) ~warmup:1.0 ~duration:2.0
       ~client_counts:[ 4; 16; 64 ]
   in
   Alcotest.(check int) "three points" 3 (List.length results);
@@ -155,7 +155,7 @@ let test_sweep_and_peak () =
 
 let test_larger_cluster () =
   let params = { (Cluster.params_for_f ~clients:32 3) with Cluster.seed = 3 } in
-  let r = Experiment.run_throughput marlin params ~warmup:1.0 ~duration:3.0 in
+  let r = Experiment.run_throughput marlin ~params ~warmup:1.0 ~duration:3.0 in
   Alcotest.(check bool) "n=10 agreement" true r.Experiment.agreement;
   Alcotest.(check bool) "n=10 commits" true (r.Experiment.throughput > 0.)
 

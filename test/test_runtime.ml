@@ -133,7 +133,7 @@ let test_sweep_shape () =
   in
   let results =
     Experiment.sweep marlin
-      { (Cluster.params_for_f ~clients:0 1) with Cluster.seed = 2 }
+      ~params:{ (Cluster.params_for_f ~clients:0 1) with Cluster.seed = 2 }
       ~warmup:0.5 ~duration:1.5 ~client_counts:[ 8; 32 ]
   in
   Alcotest.(check (list int)) "client counts preserved" [ 8; 32 ]
