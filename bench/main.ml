@@ -17,6 +17,49 @@ module Experiment = Marlin_runtime.Experiment
 module Stats = Marlin_analysis.Stats
 module Complexity = Marlin_analysis.Complexity
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable output: --json FILE                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Every target appends labelled records as it prints its tables; with
+   --json FILE the collected records are written as one schema-versioned
+   document. The committed regression baselines (bench/baselines/) are
+   exactly such documents, and the regress target reads them back. *)
+module Recorder = struct
+  let schema = "marlin-bench/1"
+  let target = ref ""
+  let set_target t = target := t
+
+  (* newest first: (target, label, serialized data) *)
+  let records : (string * string * string) list ref = ref []
+
+  let escape s =
+    let buf = Buffer.create (String.length s) in
+    String.iter
+      (function
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let add ~label data = records := (!target, label, data) :: !records
+
+  let write ~path ~wall_seconds =
+    let oc = open_out path in
+    Printf.fprintf oc {|{"schema":"%s","wall_seconds":%.1f,"records":[|}
+      schema wall_seconds;
+    List.iteri
+      (fun i (tgt, label, data) ->
+        if i > 0 then output_char oc ',';
+        Printf.fprintf oc "\n  {\"target\":\"%s\",\"label\":\"%s\",\"data\":%s}"
+          (escape tgt) (escape label) data)
+      (List.rev !records);
+    output_string oc "\n]}\n";
+    close_out oc;
+    Printf.printf "\njson    -> %s (%d records)\n" path (List.length !records)
+end
+
 let marlin : C.protocol = (module Marlin_core.Chained_marlin)
 let hotstuff : C.protocol = (module Marlin_core.Chained_hotstuff)
 let basic_marlin : C.protocol = (module Marlin_core.Marlin)
@@ -82,7 +125,10 @@ let table1 ~full =
           in
           Printf.printf "%-22s %6d %12d %8d %8d\n" name ((3 * f) + 1)
             r.Experiment.vc_bytes r.Experiment.vc_authenticators
-            r.Experiment.vc_messages)
+            r.Experiment.vc_messages;
+          Recorder.add
+            ~label:(Printf.sprintf "%s n=%d" name ((3 * f) + 1))
+            (Experiment.Result.view_change_to_json r))
         [
           ("marlin (happy)", basic_marlin, false);
           ("marlin (unhappy)", basic_marlin, true);
@@ -134,13 +180,14 @@ let tput_latency_figure ~full ~fig f =
         (m.Experiment.throughput /. 1000.)
         (m.Experiment.latency.Stats.mean *. 1000.)
         (h.Experiment.throughput /. 1000.)
-        (h.Experiment.latency.Stats.mean *. 1000.))
+        (h.Experiment.latency.Stats.mean *. 1000.);
+      List.iter
+        (fun (name, r) ->
+          Recorder.add
+            ~label:(Printf.sprintf "%s f=%d clients=%d" name f clients)
+            (Experiment.Result.throughput_to_json r))
+        [ ("marlin", m); ("hotstuff", h) ])
     (sweep_clients ~full f)
-
-let fig10_tput ~full () =
-  List.iter
-    (fun (fig, f) -> tput_latency_figure ~full ~fig f)
-    [ ("10a", 1); ("10b", 2); ("10c", 5); ("10d", 10); ("10e", 20); ("10f", 30) ]
 
 (* ------------------------------------------------------------------ *)
 (* Figure 10g: peak throughput, f = 1..10                              *)
@@ -184,7 +231,12 @@ let fig10g ~full () =
       Printf.printf "%4d | %12.2f %12.2f | %+7.1f%%\n" f
         (m.Experiment.throughput /. 1000.)
         (h.Experiment.throughput /. 1000.)
-        (((m.Experiment.throughput /. h.Experiment.throughput) -. 1.) *. 100.))
+        (((m.Experiment.throughput /. h.Experiment.throughput) -. 1.) *. 100.);
+      List.iter
+        (fun (name, r) ->
+          Recorder.add ~label:(Printf.sprintf "%s peak f=%d" name f)
+            (Experiment.Result.throughput_to_json r))
+        [ ("marlin", m); ("hotstuff", h) ])
     fs
 
 (* ------------------------------------------------------------------ *)
@@ -208,7 +260,12 @@ let fig10h ~full () =
       Printf.printf "%4d | %12.2f %12.2f | %12.2f\n" f
         (m.Experiment.throughput /. 1000.)
         (h.Experiment.throughput /. 1000.)
-        (m150.Experiment.throughput /. 1000.))
+        (m150.Experiment.throughput /. 1000.);
+      List.iter
+        (fun (name, r) ->
+          Recorder.add ~label:(Printf.sprintf "%s noop peak f=%d" name f)
+            (Experiment.Result.throughput_to_json r))
+        [ ("marlin", m); ("hotstuff", h) ])
     [ 1; 2; 5 ]
 
 (* ------------------------------------------------------------------ *)
@@ -239,7 +296,12 @@ let fig10i ~full () =
             (if r.Experiment.unhappy then "*" else "")
         else "stuck"
       in
-      Printf.printf "%4d | %14s %16s %12s\n" f (ms happy) (ms unhappy) (ms hs))
+      Printf.printf "%4d | %14s %16s %12s\n" f (ms happy) (ms unhappy) (ms hs);
+      List.iter
+        (fun (name, r) ->
+          Recorder.add ~label:(Printf.sprintf "%s f=%d" name f)
+            (Experiment.Result.view_change_to_json r))
+        [ ("marlin-happy", happy); ("marlin-unhappy", unhappy); ("hotstuff", hs) ])
     fs;
   Printf.printf "(* = the PRE-PREPARE phase ran, i.e. the unhappy path)\n"
 
@@ -276,7 +338,12 @@ let fig10j ~full () =
       in
       Printf.printf "%10d | %12.2f %12.2f\n" k
         (m.Experiment.throughput /. 1000.)
-        (h.Experiment.throughput /. 1000.))
+        (h.Experiment.throughput /. 1000.);
+      List.iter
+        (fun (name, r) ->
+          Recorder.add ~label:(Printf.sprintf "%s crashed=%d" name k)
+            (Experiment.Result.throughput_to_json r))
+        [ ("marlin", m); ("hotstuff", h) ])
     [ 0; 1; 3 ]
 
 (* ------------------------------------------------------------------ *)
@@ -307,7 +374,12 @@ let related_work ~full () =
       let bytes = (Marlin_sim.Netsim.stats (Cl.net t)).Marlin_sim.Netsim.bytes in
       Printf.printf "%-10s | %12.0f %9.1f | %16.0f\n" name (lat *. 1000.)
         (lat /. hop)
-        (float_of_int bytes /. float_of_int (max 1 executed)))
+        (float_of_int bytes /. float_of_int (max 1 executed));
+      Recorder.add ~label:name
+        (Printf.sprintf
+           {|{"latency_mean":%.6f,"hops":%.2f,"bytes_per_op":%.1f}|} lat
+           (lat /. hop)
+           (float_of_int bytes /. float_of_int (max 1 executed))))
     [ ("pbft", pbft); ("marlin", basic_marlin); ("hotstuff", basic_hotstuff) ];
   Printf.printf
     "(paper: 5 vs 7 vs 9 hops; PBFT trades quadratic communication for\n\
@@ -341,7 +413,11 @@ let ablate_sigs ~full () =
 " name pname
             (peak.Experiment.throughput /. 1000.)
             (peak.Experiment.latency.Stats.mean *. 1000.)
-            (vc.Experiment.vc_latency *. 1000.))
+            (vc.Experiment.vc_latency *. 1000.);
+          Recorder.add ~label:(Printf.sprintf "%s %s peak" name pname)
+            (Experiment.Result.throughput_to_json peak);
+          Recorder.add ~label:(Printf.sprintf "%s %s vc" name pname)
+            (Experiment.Result.view_change_to_json vc))
         [ ("marlin", marlin, basic_marlin); ("hotstuff", hotstuff, basic_hotstuff) ])
     [
       ("ecdsa-group", Marlin_crypto.Cost_model.ecdsa_group);
@@ -394,7 +470,9 @@ let ablate_shadow () =
       in
       Printf.printf "%10d | %14d %14d | %7.1f%%
 " ops shadow naive
-        (100. *. (1. -. (float_of_int shadow /. float_of_int naive))))
+        (100. *. (1. -. (float_of_int shadow /. float_of_int naive)));
+      Recorder.add ~label:(Printf.sprintf "batch=%d" ops)
+        (Printf.sprintf {|{"with_shadow":%d,"without":%d}|} shadow naive))
     [ 0; 16; 128; 1024 ]
 
 (* Batch size drives the block rate / latency trade-off. *)
@@ -410,7 +488,9 @@ let ablate_batch ~full () =
       Printf.printf "%10d | %12.2f %8.0f
 " batch_max
         (r.Experiment.throughput /. 1000.)
-        (r.Experiment.latency.Stats.mean *. 1000.))
+        (r.Experiment.latency.Stats.mean *. 1000.);
+      Recorder.add ~label:(Printf.sprintf "batch=%d" batch_max)
+        (Experiment.Result.throughput_to_json r))
     [ 125; 500; 2000; 8000 ]
 
 (* ------------------------------------------------------------------ *)
@@ -479,7 +559,15 @@ let observe ~full ~trace_file ~metrics_file () =
         total_msgs blocks
         (float_of_int total_msgs /. float_of_int (max 1 blocks))
         (Complexity.happy_messages cproto ~n)
-        (Complexity.happy_phases cproto))
+        (Complexity.happy_phases cproto);
+      (* when traced, say where the commit latency went *)
+      (match Obs.Run.trace_events obs with
+      | [] -> ()
+      | _ ->
+          Format.printf "%a%!" Obs.Critical_path.pp
+            (Experiment.critical_path ~label obs));
+      Recorder.add ~label
+        (Experiment.profile_json ~label ~sim_seconds:(1.0 +. duration) r obs))
     runs;
   (match (metrics_oc, metrics_file) with
   | Some oc, Some path ->
@@ -502,22 +590,235 @@ let observe ~full ~trace_file ~metrics_file () =
   | _ -> ()
 
 (* ------------------------------------------------------------------ *)
-(* Entry point                                                         *)
+(* Smoke / spans / regress: the machine-readable bench pipeline        *)
 (* ------------------------------------------------------------------ *)
 
-let all ~full () =
-  table1 ~full;
-  fig10_tput ~full ();
-  fig10g ~full ();
-  fig10h ~full ();
-  fig10i ~full ();
-  fig10j ~full ();
-  related_work ~full ();
-  ablate_sigs ~full ();
-  ablate_shadow ();
-  ablate_batch ~full ();
-  Bench_demo.run ();
-  Bench_micro.run ()
+(* A tiny deterministic pass: fully traced profile runs of the basic
+   protocols (critical-path breakdown included) plus one quick point from
+   each experiment family. Running this with --json produces the document
+   committed as bench/baselines/BENCH_smoke.json; regress re-runs it and
+   diffs. Returns the records for regress to compare. *)
+let smoke () =
+  section "Smoke: traced profile runs + one point per experiment family";
+  let recs = ref [] in
+  let put label data =
+    recs := (label, data) :: !recs;
+    Recorder.add ~label data
+  in
+  List.iter
+    (fun (label, proto) ->
+      let params = bench_params ~clients:1 1 in
+      let r, obs =
+        Experiment.run_instrumented proto ~params ~warmup:1.0 ~duration:3.0
+          ~trace:true ()
+      in
+      Format.printf "%a%!" Obs.Critical_path.pp
+        (Experiment.critical_path ~label obs);
+      put (label ^ "/profile")
+        (Experiment.profile_json ~label ~sim_seconds:4.0 r obs))
+    [ ("marlin", basic_marlin); ("hotstuff", basic_hotstuff); ("pbft", pbft) ];
+  List.iter
+    (fun (label, proto) ->
+      let r =
+        Experiment.run_throughput proto
+          ~params:{ (bench_params 1) with Cluster.clients = 512 }
+          ~warmup:1.0 ~duration:3.0
+      in
+      Printf.printf "%s loaded point: %.0f op/s, agreement %B\n" label
+        r.Experiment.throughput r.Experiment.agreement;
+      put (label ^ "/tput") (Experiment.Result.throughput_to_json r))
+    [ ("marlin", marlin); ("hotstuff", hotstuff) ];
+  List.iter
+    (fun (label, proto, force_unhappy) ->
+      let r =
+        Experiment.run_view_change proto ~params:(bench_params 1) ~force_unhappy
+      in
+      Printf.printf "%s view change: %.0f ms (%s)\n" label
+        (r.Experiment.vc_latency *. 1000.)
+        (if r.Experiment.unhappy then "unhappy" else "happy");
+      put (label ^ "/vc") (Experiment.Result.view_change_to_json r))
+    [
+      ("marlin", basic_marlin, false);
+      ("marlin-unhappy", basic_marlin, true);
+      ("hotstuff", basic_hotstuff, false);
+    ];
+  List.rev !recs
+
+(* Post-hoc span analysis of a JSONL trace file (the output of
+   [observe --trace FILE]), one critical-path report per run label. *)
+let spans ~trace_file () =
+  let path =
+    match trace_file with
+    | Some p -> p
+    | None ->
+        prerr_endline "spans needs --trace FILE (a JSONL trace to analyse)";
+        exit 2
+  in
+  section (Printf.sprintf "Causal spans: %s" path);
+  List.iter
+    (fun (run, events) ->
+      let label = if run = "" then Filename.basename path else run in
+      let cp = Obs.Critical_path.analyze ~label (Obs.Span.reconstruct events) in
+      Format.printf "%a%!" Obs.Critical_path.pp cp;
+      Recorder.add ~label (Obs.Critical_path.to_json cp))
+    (Obs.Trace_reader.runs (Obs.Trace_reader.read_file path))
+
+let read_all path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* The regression gate: re-run smoke and compare every metric the baseline
+   recorded. Throughput and latency get the user-facing relative tolerance
+   (--tolerance, default 15%); per-block message/authenticator counts and
+   the critical path's quorum-wait count are structural consequences of
+   the protocol, so they get tight fixed tolerances — a change there is a
+   behaviour change, not noise. Returns the number of violations. *)
+let regress ~baseline ~tolerance () =
+  let module J = Obs.Json_lite in
+  let path =
+    Option.value ~default:"bench/baselines/BENCH_smoke.json" baseline
+  in
+  let tol =
+    match tolerance with
+    | None -> 0.15
+    | Some s -> (
+        match float_of_string_opt s with
+        | Some t when t >= 0. -> t
+        | _ ->
+            Printf.eprintf "--tolerance wants a non-negative float, got %S\n" s;
+            exit 2)
+  in
+  section
+    (Printf.sprintf "Regression gate: fresh smoke run vs %s (tolerance %.0f%%)"
+       path (100. *. tol));
+  let text =
+    try read_all path
+    with Sys_error e ->
+      Printf.eprintf
+        "cannot read baseline: %s\n\
+         (record one with: bench/main.exe -- smoke --json %s)\n"
+        e path;
+      exit 2
+  in
+  let doc =
+    match J.parse text with
+    | Ok d -> d
+    | Error e ->
+        Printf.eprintf "%s: %s\n" path e;
+        exit 2
+  in
+  (match J.string_at [ "schema" ] doc with
+  | Some s when s = Recorder.schema -> ()
+  | Some s ->
+      Printf.eprintf "%s: schema %S, this binary speaks %S\n" path s
+        Recorder.schema;
+      exit 2
+  | None ->
+      Printf.eprintf "%s: not a bench JSON document (no \"schema\" field)\n"
+        path;
+      exit 2);
+  let baseline_records =
+    match J.member "records" doc with
+    | Some records -> (
+        match J.to_list records with
+        | Some l ->
+            List.filter_map
+              (fun r ->
+                match (J.string_at [ "target" ] r, J.string_at [ "label" ] r) with
+                | Some "smoke", Some label ->
+                    Option.map (fun d -> (label, d)) (J.member "data" r)
+                | _ -> None)
+              l
+        | None -> [])
+    | None -> []
+  in
+  if baseline_records = [] then begin
+    Printf.eprintf "%s: no smoke records to compare against\n" path;
+    exit 2
+  end;
+  let fresh = smoke () in
+  let fresh_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (label, data) ->
+      match J.parse data with
+      | Ok d -> Hashtbl.replace fresh_tbl label d
+      | Error _ -> ())
+    fresh;
+  (* (path into the record, tolerance): a check applies to a record iff the
+     baseline record has that field *)
+  let checks =
+    [
+      ([ "throughput" ], tol);                    (* tput records *)
+      ([ "latency"; "mean" ], tol);
+      ([ "throughput"; "throughput" ], tol);      (* profile records *)
+      ([ "throughput"; "latency"; "mean" ], tol);
+      ([ "commit_latency"; "mean" ], tol);
+      ([ "msgs_per_block" ], 0.01);
+      ([ "auths_per_block" ], 0.01);
+      ([ "phase_breakdown"; "quorum_waits_per_commit" ], 1e-6);
+      ([ "vc_latency" ], tol);
+      ([ "vc_messages" ], 0.01);
+      ([ "vc_bytes" ], 0.05);
+    ]
+  in
+  let checked = ref 0 and failures = ref 0 in
+  Printf.printf "\n";
+  List.iter
+    (fun (label, bdata) ->
+      match Hashtbl.find_opt fresh_tbl label with
+      | None ->
+          incr failures;
+          Printf.printf "  FAIL %-22s missing from the fresh smoke run\n" label
+      | Some fdata ->
+          (* the decomposition must stay exact, whatever the baseline says *)
+          (match
+             J.float_at [ "phase_breakdown"; "max_attribution_error" ] fdata
+           with
+          | Some e when e > 1e-9 ->
+              incr failures;
+              Printf.printf
+                "  FAIL %-22s span attribution error %.3g s exceeds 1e-9\n"
+                label e
+          | _ -> ());
+          List.iter
+            (fun (fpath, ctol) ->
+              match J.float_at fpath bdata with
+              | None -> ()
+              | Some b -> (
+                  let name = String.concat "." fpath in
+                  match J.float_at fpath fdata with
+                  | None ->
+                      incr failures;
+                      Printf.printf "  FAIL %-22s %-38s missing in fresh run\n"
+                        label name
+                  | Some f ->
+                      incr checked;
+                      let scale = Float.max (Float.abs b) 1e-9 in
+                      if Float.abs (f -. b) > (ctol *. scale) +. 1e-12
+                      then begin
+                        incr failures;
+                        Printf.printf
+                          "  FAIL %-22s %-38s baseline %-12.6g fresh %-12.6g \
+                           (%+.1f%%, tolerance %.1f%%)\n"
+                          label name b f
+                          (100. *. (f -. b) /. scale)
+                          (100. *. ctol)
+                      end))
+            checks)
+    baseline_records;
+  Printf.printf
+    "regress: %d records, %d metrics checked, %d violation%s -> %s\n"
+    (List.length baseline_records)
+    !checked !failures
+    (if !failures = 1 then "" else "s")
+    (if !failures = 0 then "PASS" else "FAIL");
+  !failures
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
 
 (* Pull one "--flag FILE" option out of the argument list. *)
 let rec take_opt name = function
@@ -537,39 +838,66 @@ let () =
   in
   let trace_file, args = take_opt "--trace" args in
   let metrics_file, args = take_opt "--metrics-out" args in
+  let json_file, args = take_opt "--json" args in
+  let baseline, args = take_opt "--baseline" args in
+  let tolerance, args = take_opt "--tolerance" args in
   let t0 = Unix.gettimeofday () in
+  (* regress reports its violations after the json is flushed *)
+  let regress_failures = ref 0 in
+  let dispatch name =
+    Recorder.set_target name;
+    match name with
+    | "table1" -> table1 ~full
+    | "fig10a" -> tput_latency_figure ~full ~fig:"10a" 1
+    | "fig10b" -> tput_latency_figure ~full ~fig:"10b" 2
+    | "fig10c" -> tput_latency_figure ~full ~fig:"10c" 5
+    | "fig10d" -> tput_latency_figure ~full ~fig:"10d" 10
+    | "fig10e" -> tput_latency_figure ~full ~fig:"10e" 20
+    | "fig10f" -> tput_latency_figure ~full ~fig:"10f" 30
+    | "fig10g" -> fig10g ~full ()
+    | "fig10h" -> fig10h ~full ()
+    | "fig10i" -> fig10i ~full ()
+    | "fig10j" -> fig10j ~full ()
+    | "related-work" -> related_work ~full ()
+    | "ablate-sigs" -> ablate_sigs ~full ()
+    | "ablate-shadow" -> ablate_shadow ()
+    | "ablate-batch" -> ablate_batch ~full ()
+    | "fig2-demo" -> Bench_demo.run ()
+    | "micro" -> Bench_micro.run ()
+    | "observe" -> observe ~full ~trace_file ~metrics_file ()
+    | "smoke" ->
+        Recorder.set_target "smoke";
+        ignore (smoke () : (string * string) list)
+    | "spans" -> spans ~trace_file ()
+    | "regress" ->
+        Recorder.set_target "smoke";
+        (* the fresh records keep the smoke target so a --json of this
+           run can itself serve as a re-blessed baseline *)
+        regress_failures := !regress_failures + regress ~baseline ~tolerance ()
+    | other ->
+        Printf.eprintf
+          "unknown target %S (try: table1 fig10a..fig10f fig10g fig10h \
+           fig10i fig10j related-work ablate-sigs ablate-shadow ablate-batch \
+           fig2-demo micro observe smoke spans regress all; observe takes \
+           --trace FILE and --metrics-out FILE, spans reads --trace FILE, \
+           regress takes --baseline FILE and --tolerance X, any run takes \
+           --json FILE)\n"
+          other;
+        exit 2
+  in
   (match args with
-  | [] when trace_file <> None || metrics_file <> None ->
-      observe ~full ~trace_file ~metrics_file ()
-  | [] | [ "all" ] -> all ~full ()
-  | targets ->
-      List.iter
-        (function
-          | "table1" -> table1 ~full
-          | "fig10a" -> tput_latency_figure ~full ~fig:"10a" 1
-          | "fig10b" -> tput_latency_figure ~full ~fig:"10b" 2
-          | "fig10c" -> tput_latency_figure ~full ~fig:"10c" 5
-          | "fig10d" -> tput_latency_figure ~full ~fig:"10d" 10
-          | "fig10e" -> tput_latency_figure ~full ~fig:"10e" 20
-          | "fig10f" -> tput_latency_figure ~full ~fig:"10f" 30
-          | "fig10g" -> fig10g ~full ()
-          | "fig10h" -> fig10h ~full ()
-          | "fig10i" -> fig10i ~full ()
-          | "fig10j" -> fig10j ~full ()
-          | "related-work" -> related_work ~full ()
-          | "ablate-sigs" -> ablate_sigs ~full ()
-          | "ablate-shadow" -> ablate_shadow ()
-          | "ablate-batch" -> ablate_batch ~full ()
-          | "fig2-demo" -> Bench_demo.run ()
-          | "micro" -> Bench_micro.run ()
-          | "observe" -> observe ~full ~trace_file ~metrics_file ()
-          | other ->
-              Printf.eprintf
-                "unknown target %S (try: table1 fig10a..fig10f fig10g fig10h \
-                 fig10i fig10j related-work ablate-sigs ablate-shadow ablate-batch \
-                 fig2-demo micro observe all; observe takes --trace FILE and \
-                 --metrics-out FILE)\n"
-                other;
-              exit 2)
-        targets);
-  Printf.printf "\n[bench completed in %.1f s]\n" (Unix.gettimeofday () -. t0)
+  | [] when trace_file <> None || metrics_file <> None -> dispatch "observe"
+  | [] | [ "all" ] ->
+      List.iter dispatch
+        [
+          "table1"; "fig10a"; "fig10b"; "fig10c"; "fig10d"; "fig10e"; "fig10f";
+          "fig10g"; "fig10h"; "fig10i"; "fig10j"; "related-work"; "ablate-sigs";
+          "ablate-shadow"; "ablate-batch"; "fig2-demo"; "micro";
+        ]
+  | targets -> List.iter dispatch targets);
+  (match json_file with
+  | Some path ->
+      Recorder.write ~path ~wall_seconds:(Unix.gettimeofday () -. t0)
+  | None -> ());
+  Printf.printf "\n[bench completed in %.1f s]\n" (Unix.gettimeofday () -. t0);
+  if !regress_failures > 0 then exit 1

@@ -4,8 +4,10 @@ val mean : float list -> float
 (** 0. on the empty list. *)
 
 val stddev : float list -> float
+
 val percentile : float list -> p:float -> float
-(** Nearest-rank percentile, [p] in [0, 100]. 0. on the empty list. *)
+(** Nearest-rank percentile. [p] is clamped to [0, 100]; 0. on the empty
+    list, the sample itself on a singleton (for every [p]). *)
 
 val median : float list -> float
 val minimum : float list -> float
@@ -21,5 +23,43 @@ type summary = {
   max : float;
 }
 
+val empty_summary : summary
+(** All-zero: what [summarize] returns for no samples. *)
+
 val summarize : float list -> summary
 val pp_summary : Format.formatter -> summary -> unit
+
+(** Bounded reservoir over a float stream (Vitter's Algorithm R): O(capacity)
+    memory however long the run, exact streaming count/mean/min/max, and
+    percentiles over a uniform sample of everything seen. Replacement uses a
+    private deterministic SplitMix64 stream, so results are reproducible and
+    the simulation RNG is untouched. Once the reservoir is warm, [add] is
+    an in-place store into an unboxed float array — no allocation. *)
+module Reservoir : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** Default capacity 1024.
+      @raise Invalid_argument when [capacity <= 0]. *)
+
+  val add : t -> float -> unit
+  val count : t -> int
+  (** Samples seen, not samples kept. *)
+
+  val kept : t -> int
+  (** [min (count t) capacity]. *)
+
+  val is_empty : t -> bool
+  val mean : t -> float
+  (** Exact over the whole stream. *)
+
+  val percentile : t -> p:float -> float
+  (** Nearest-rank over the kept sample; exact until the reservoir
+      overflows, an unbiased estimate after. 0. when empty. *)
+
+  val summarize : t -> summary
+  (** [count]/[mean]/[min]/[max] are exact over the stream; the
+      percentiles come from the kept sample. *)
+
+  val clear : t -> unit
+end

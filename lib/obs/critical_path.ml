@@ -1,0 +1,144 @@
+module Stats = Marlin_analysis.Stats
+
+type component_stat = {
+  seconds : Stats.summary; (* per-commit totals for this component *)
+  share : float; (* fraction of attributed critical-path time *)
+}
+
+type t = {
+  label : string;
+  commits : int;
+  complete : int;
+  end_to_end : Stats.summary; (* propose -> commit, complete spans *)
+  quorum_waits_per_commit : float;
+  components : (Span.component * component_stat) list; (* stable order *)
+  phase_waits : (string * Stats.summary) list; (* quorum wait by phase *)
+  max_attribution_error : float; (* |total - attributed|, worst span *)
+}
+
+let analyze ?(label = "run") spans =
+  let complete = List.filter (fun s -> s.Span.complete) spans in
+  let totals = List.map Span.total complete in
+  let attributed_sum =
+    List.fold_left (fun acc s -> acc +. Span.attributed s) 0. complete
+  in
+  let components =
+    List.map
+      (fun c ->
+        let per_span = List.map (fun s -> Span.component_total s c) complete in
+        let sum = List.fold_left ( +. ) 0. per_span in
+        ( c,
+          {
+            seconds = Stats.summarize per_span;
+            share = (if attributed_sum > 0. then sum /. attributed_sum else 0.);
+          } ))
+      Span.all_components
+  in
+  let phase_tbl = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (seg : Span.segment) ->
+          if seg.Span.component = Span.Quorum_wait then begin
+            let cur =
+              match Hashtbl.find_opt phase_tbl seg.Span.phase with
+              | Some l -> l
+              | None -> []
+            in
+            Hashtbl.replace phase_tbl seg.Span.phase
+              (Span.duration seg :: cur)
+          end)
+        s.Span.segments)
+    complete;
+  let phase_waits =
+    Hashtbl.fold (fun p l acc -> (p, Stats.summarize l) :: acc) phase_tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let waits =
+    List.fold_left (fun acc s -> acc + Span.quorum_waits s) 0 complete
+  in
+  let max_err =
+    List.fold_left
+      (fun acc s ->
+        Float.max acc (Float.abs (Span.total s -. Span.attributed s)))
+      0. complete
+  in
+  {
+    label;
+    commits = List.length spans;
+    complete = List.length complete;
+    end_to_end = Stats.summarize totals;
+    quorum_waits_per_commit =
+      (if complete = [] then 0.
+       else float_of_int waits /. float_of_int (List.length complete));
+    components;
+    phase_waits;
+    max_attribution_error = max_err;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ms x = x *. 1000.
+
+let pp fmt t =
+  Format.fprintf fmt
+    "critical path (%s): %d commits, %d with a complete causal chain@\n"
+    t.label t.commits t.complete;
+  if t.complete > 0 then begin
+    Format.fprintf fmt
+      "  end-to-end: mean %.2f ms, p50 %.2f, p95 %.2f, p99 %.2f@\n"
+      (ms t.end_to_end.Stats.mean) (ms t.end_to_end.Stats.p50)
+      (ms t.end_to_end.Stats.p95) (ms t.end_to_end.Stats.p99);
+    Format.fprintf fmt "  quorum-wait segments per commit: %.2f@\n"
+      t.quorum_waits_per_commit;
+    Format.fprintf fmt "  %-12s %7s %9s %9s %9s %9s@\n" "component" "share"
+      "mean ms" "p50 ms" "p95 ms" "p99 ms";
+    List.iter
+      (fun (c, st) ->
+        Format.fprintf fmt "  %-12s %6.1f%% %9.3f %9.3f %9.3f %9.3f@\n"
+          (Span.component_name c) (100. *. st.share) (ms st.seconds.Stats.mean)
+          (ms st.seconds.Stats.p50) (ms st.seconds.Stats.p95)
+          (ms st.seconds.Stats.p99))
+      t.components;
+    if t.phase_waits <> [] then begin
+      Format.fprintf fmt "  quorum wait by phase:@\n";
+      List.iter
+        (fun (p, s) ->
+          Format.fprintf fmt "    %-12s n=%-5d mean %.2f ms, p95 %.2f ms@\n" p
+            s.Stats.count (ms s.Stats.mean) (ms s.Stats.p95))
+        t.phase_waits
+    end;
+    Format.fprintf fmt "  max attribution error: %.3g s@\n"
+      t.max_attribution_error
+  end
+
+let summary_json (s : Stats.summary) =
+  Printf.sprintf
+    {|{"count":%d,"mean":%.9f,"p50":%.9f,"p95":%.9f,"p99":%.9f,"min":%.9f,"max":%.9f}|}
+    s.Stats.count s.Stats.mean s.Stats.p50 s.Stats.p95 s.Stats.p99 s.Stats.min
+    s.Stats.max
+
+let to_json t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|{"label":"%s","commits":%d,"complete":%d,"end_to_end":%s,"quorum_waits_per_commit":%.4f,"max_attribution_error":%.3g,"components":{|}
+       t.label t.commits t.complete (summary_json t.end_to_end)
+       t.quorum_waits_per_commit t.max_attribution_error);
+  List.iteri
+    (fun i (c, st) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf {|"%s":{"share":%.6f,"seconds":%s}|}
+           (Span.component_name c) st.share (summary_json st.seconds)))
+    t.components;
+  Buffer.add_string buf {|},"phase_waits":{|};
+  List.iteri
+    (fun i (p, s) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf {|"%s":%s|} p (summary_json s)))
+    t.phase_waits;
+  Buffer.add_string buf "}}";
+  Buffer.contents buf

@@ -1,0 +1,40 @@
+(** Critical-path attribution over reconstructed {!Span}s: per-component
+    and per-phase latency breakdown with p50/p95/p99 summaries — the
+    tables that say {e where} a committed block's latency went.
+
+    Only spans whose causal chain reached the anchoring proposal
+    ([Span.complete]) contribute to the statistics; partial chains (e.g.
+    commits whose proposal predates the trace window) are counted but not
+    attributed. *)
+
+module Stats = Marlin_analysis.Stats
+
+type component_stat = {
+  seconds : Stats.summary;  (** per-commit component totals, seconds *)
+  share : float;  (** fraction of all attributed critical-path time *)
+}
+
+type t = {
+  label : string;
+  commits : int;  (** spans seen *)
+  complete : int;  (** spans with a complete causal chain *)
+  end_to_end : Stats.summary;  (** propose to commit, seconds *)
+  quorum_waits_per_commit : float;
+      (** certificates on the critical path per commit — the phase count:
+          2 for Marlin, 3 for HotStuff *)
+  components : (Span.component * component_stat) list;
+      (** in {!Span.all_components} order *)
+  phase_waits : (string * Stats.summary) list;
+      (** quorum-wait durations keyed by certificate phase, sorted *)
+  max_attribution_error : float;
+      (** worst [|total - attributed|] over complete spans; ~1e-12 s —
+          the sum check that the decomposition is exact *)
+}
+
+val analyze : ?label:string -> Span.t list -> t
+
+val pp : Format.formatter -> t -> unit
+(** The human-readable breakdown table. *)
+
+val to_json : t -> string
+(** One JSON object (the [phase_breakdown] payload of [BENCH_*.json]). *)

@@ -15,9 +15,9 @@ type t = {
   mutable view_changes : int;
   mutable timer_fires : int;
   first_seen : (int, float) Hashtbl.t;  (* height -> first proposal sighting *)
-  mutable commit_samples : float list;
+  commit_samples : Stats.Reservoir.t;
   mutable vc_open : float option;
-  mutable vc_samples : float list;
+  vc_samples : Stats.Reservoir.t;
 }
 
 let create ~replica =
@@ -31,9 +31,11 @@ let create ~replica =
     view_changes = 0;
     timer_fires = 0;
     first_seen = Hashtbl.create 64;
-    commit_samples = [];
+    (* bounded: a --full run commits millions of blocks; the reservoir
+       keeps memory flat while the percentiles stay representative *)
+    commit_samples = Stats.Reservoir.create ~capacity:4096 ();
     vc_open = None;
-    vc_samples = [];
+    vc_samples = Stats.Reservoir.create ~capacity:1024 ();
   }
 
 let replica t = t.replica
@@ -117,11 +119,11 @@ let note_commit t ~height ~blocks ~ops ~time =
   List.iter
     (fun (h, t0) ->
       Hashtbl.remove t.first_seen h;
-      t.commit_samples <- (time -. t0) :: t.commit_samples)
+      Stats.Reservoir.add t.commit_samples (time -. t0))
     closed;
   match t.vc_open with
   | Some t0 ->
-      t.vc_samples <- (time -. t0) :: t.vc_samples;
+      Stats.Reservoir.add t.vc_samples (time -. t0);
       t.vc_open <- None
   | None -> ()
 
@@ -132,7 +134,7 @@ let note_view_change_enter t ~time =
 let note_view_change_exit t ~time =
   match t.vc_open with
   | Some t0 ->
-      t.vc_samples <- (time -. t0) :: t.vc_samples;
+      Stats.Reservoir.add t.vc_samples (time -. t0);
       t.vc_open <- None
   | None -> ()
 
@@ -145,5 +147,5 @@ let ops_committed t = t.ops_committed
 let view_changes t = t.view_changes
 let timer_fires t = t.timer_fires
 
-let commit_latency t = Stats.summarize t.commit_samples
-let vc_latency t = Stats.summarize t.vc_samples
+let commit_latency t = Stats.Reservoir.summarize t.commit_samples
+let vc_latency t = Stats.Reservoir.summarize t.vc_samples

@@ -2,9 +2,12 @@
     message kind and direction, protocol-event counters, and sim-time
     histograms for proposal-to-commit and view-change latency.
 
-    All updates are plain mutations — no allocation beyond the histogram
-    samples — and only happen when a sink is installed, so a run without
-    observability pays nothing. *)
+    All updates are plain mutations and only happen when a sink is
+    installed, so a run without observability pays nothing. The latency
+    histograms are bounded reservoirs ({!Marlin_analysis.Stats.Reservoir}),
+    so memory stays flat however long the run: a [--full] sweep committing
+    millions of blocks keeps 4096 commit samples per replica, with exact
+    streaming count/mean/min/max. *)
 
 module Stats = Marlin_analysis.Stats
 

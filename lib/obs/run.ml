@@ -23,22 +23,27 @@ let trace_events t =
 
 (* -- network-layer hooks -- *)
 
-let record t e = match t.trace with None -> () | Some b -> Trace.add b e
-
-let net_queued t ~time ~src ~dst ~size ~depart m =
+let net_queued t ~time ~id ~src ~dst ~size ~ready ~depart ~tx m =
   if src >= 0 && src < Array.length t.metrics then
     Metrics.count_sent t.metrics.(src) ~size m;
-  record t
-    { Trace.time; replica = src; view = -1; height = -1;
-      kind = Trace.Net_queued
-          { src; dst; size; msg = Message.type_name m; depart } }
+  match t.trace with
+  | None -> ()
+  | Some b ->
+      Trace.add b
+        { Trace.time; replica = src; view = -1; height = -1;
+          kind = Trace.Net_queued
+              { id; src; dst; size; msg = Message.type_name m; ready; depart; tx } }
 
-let net_delivered t ~time ~src ~dst ~size m =
+let net_delivered t ~time ~id ~src ~dst ~size m =
   if dst >= 0 && dst < Array.length t.metrics then
     Metrics.count_recv t.metrics.(dst) ~size m;
-  record t
-    { Trace.time; replica = dst; view = -1; height = -1;
-      kind = Trace.Net_delivered { src; dst; size; msg = Message.type_name m } }
+  match t.trace with
+  | None -> ()
+  | Some b ->
+      Trace.add b
+        { Trace.time; replica = dst; view = -1; height = -1;
+          kind = Trace.Net_delivered
+              { id; src; dst; size; msg = Message.type_name m } }
 
 (* -- exporters -- *)
 

@@ -20,13 +20,16 @@ val trace_events : t -> Trace.event list
 (* -- network-layer hooks (called by Netsim when attached) -- *)
 
 val net_queued :
-  t -> time:float -> src:int -> dst:int -> size:int -> depart:float ->
-  Marlin_types.Message.t -> unit
+  t -> time:float -> id:int -> src:int -> dst:int -> size:int ->
+  ready:float -> depart:float -> tx:float -> Marlin_types.Message.t -> unit
 (** A message entered [src]'s NIC queue; counts it as sent when [src] is a
-    replica and traces the queueing event. *)
+    replica and traces the queueing event. [id] is the simulator's unique
+    message id (pairs the event with the matching delivery); [ready] is the
+    CPU handoff instant, [depart] the NIC departure, [tx] the serialization
+    time — the tags the span profiler needs for exact attribution. *)
 
 val net_delivered :
-  t -> time:float -> src:int -> dst:int -> size:int ->
+  t -> time:float -> id:int -> src:int -> dst:int -> size:int ->
   Marlin_types.Message.t -> unit
 
 (* -- exporters -- *)

@@ -10,80 +10,122 @@ type handle = t option
 let none : handle = None
 let make ~replica ~clock ?trace ~metrics () = { replica; clock; trace; metrics }
 let enabled = function None -> false | Some _ -> true
+let tracing = function None -> false | Some s -> s.trace <> None
 
-let record s ~time ~view ~height kind =
-  match s.trace with
-  | Some buf ->
-      Trace.add buf { Trace.time; replica = s.replica; view; height; kind }
-  | None -> ()
+(* Event values (the [Trace.kind] payloads) are only built inside a
+   [Some buf] branch: a metrics-only sink must not allocate per emission,
+   so every function below checks [s.trace] *before* constructing the
+   kind. Serialization to JSONL happens later still, at export. *)
 
 let propose h ~view ~height ~txs =
   match h with
   | None -> ()
-  | Some s ->
+  | Some s -> (
       let time = s.clock () in
       Metrics.note_propose s.metrics;
       Metrics.note_proposal_seen s.metrics ~height ~time;
-      record s ~time ~view ~height (Trace.Propose { txs })
+      match s.trace with
+      | Some buf ->
+          Trace.add buf
+            { Trace.time; replica = s.replica; view; height;
+              kind = Trace.Propose { txs } }
+      | None -> ())
 
 let vote h ~view ~height ~phase =
   match h with
   | None -> ()
-  | Some s ->
+  | Some s -> (
       let time = s.clock () in
       Metrics.note_proposal_seen s.metrics ~height ~time;
-      record s ~time ~view ~height (Trace.Vote_sent { phase })
+      match s.trace with
+      | Some buf ->
+          Trace.add buf
+            { Trace.time; replica = s.replica; view; height;
+              kind = Trace.Vote_sent { phase } }
+      | None -> ())
 
 let qc_formed h ~view ~height ~phase =
   match h with
   | None -> ()
-  | Some s ->
+  | Some s -> (
       let time = s.clock () in
       Metrics.note_qc s.metrics;
-      record s ~time ~view ~height (Trace.Qc_formed { phase })
+      match s.trace with
+      | Some buf ->
+          Trace.add buf
+            { Trace.time; replica = s.replica; view; height;
+              kind = Trace.Qc_formed { phase } }
+      | None -> ())
 
 let commit h ~view ~height ~blocks ~ops =
   match h with
   | None -> ()
-  | Some s ->
+  | Some s -> (
       let time = s.clock () in
       Metrics.note_commit s.metrics ~height ~blocks ~ops ~time;
-      record s ~time ~view ~height (Trace.Commit { blocks; ops })
+      match s.trace with
+      | Some buf ->
+          Trace.add buf
+            { Trace.time; replica = s.replica; view; height;
+              kind = Trace.Commit { blocks; ops } }
+      | None -> ())
 
 let view_enter h ~view ~cause =
   match h with
   | None -> ()
-  | Some s ->
-      let time = s.clock () in
-      record s ~time ~view ~height:(-1) (Trace.View_enter { cause })
+  | Some s -> (
+      match s.trace with
+      | Some buf ->
+          Trace.add buf
+            { Trace.time = s.clock (); replica = s.replica; view; height = -1;
+              kind = Trace.View_enter { cause } }
+      | None -> ())
 
 let view_change_enter h ~view =
   match h with
   | None -> ()
-  | Some s ->
+  | Some s -> (
       let time = s.clock () in
       Metrics.note_view_change_enter s.metrics ~time;
-      record s ~time ~view ~height:(-1) Trace.View_change_enter
+      match s.trace with
+      | Some buf ->
+          Trace.add buf
+            { Trace.time; replica = s.replica; view; height = -1;
+              kind = Trace.View_change_enter }
+      | None -> ())
 
 let view_change_exit h ~view =
   match h with
   | None -> ()
-  | Some s ->
+  | Some s -> (
       let time = s.clock () in
       Metrics.note_view_change_exit s.metrics ~time;
-      record s ~time ~view ~height:(-1) Trace.View_change_exit
+      match s.trace with
+      | Some buf ->
+          Trace.add buf
+            { Trace.time; replica = s.replica; view; height = -1;
+              kind = Trace.View_change_exit }
+      | None -> ())
 
 let timer_armed h ~view ~after ~cause =
   match h with
   | None -> ()
-  | Some s ->
-      let time = s.clock () in
-      record s ~time ~view ~height:(-1) (Trace.Timer_armed { after; cause })
+  | Some s -> (
+      match s.trace with
+      | Some buf ->
+          Trace.add buf
+            { Trace.time = s.clock (); replica = s.replica; view; height = -1;
+              kind = Trace.Timer_armed { after; cause } }
+      | None -> ())
 
 let timer_fired h ~view ~cause =
   match h with
   | None -> ()
-  | Some s ->
-      let time = s.clock () in
+  | Some s -> (
       Metrics.note_timer_fired s.metrics;
-      record s ~time ~view ~height:(-1) (Trace.Timer_fired { cause })
+      match s.trace with
+      | Some buf ->
+          Trace.add buf
+            { Trace.time = s.clock (); replica = s.replica; view; height = -1;
+              kind = Trace.Timer_fired { cause } }
+      | None -> ())

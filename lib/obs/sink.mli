@@ -6,7 +6,12 @@
     [None] {e without allocating} — the disabled path costs one branch, so
     protocols can emit unconditionally on their hot paths. Phase and cause
     arguments are expected to be string literals (statically allocated)
-    for the same reason. *)
+    for the same reason.
+
+    The trace side is split from the metrics side: a metrics-only sink
+    (no trace buffer attached) never constructs a [Trace.event] — counter
+    and reservoir updates are in-place mutations — and the JSONL formatter
+    runs only at export time, never per emission. *)
 
 type t = {
   replica : int;
@@ -24,6 +29,9 @@ val make :
   metrics:Metrics.t -> unit -> t
 
 val enabled : handle -> bool
+
+val tracing : handle -> bool
+(** Is a trace buffer attached (as opposed to metrics only)? *)
 
 (* -- protocol events -- *)
 

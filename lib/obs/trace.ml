@@ -8,8 +8,17 @@ type kind =
   | View_change_exit
   | Timer_armed of { after : float; cause : string }
   | Timer_fired of { cause : string }
-  | Net_queued of { src : int; dst : int; size : int; msg : string; depart : float }
-  | Net_delivered of { src : int; dst : int; size : int; msg : string }
+  | Net_queued of {
+      id : int;
+      src : int;
+      dst : int;
+      size : int;
+      msg : string;
+      ready : float;
+      depart : float;
+      tx : float;
+    }
+  | Net_delivered of { id : int; src : int; dst : int; size : int; msg : string }
 
 type event = {
   time : float;
@@ -43,18 +52,20 @@ let kind_fields = function
   | Timer_armed { after; cause } ->
       Printf.sprintf {|,"after":%.6f,"cause":"%s"|} after cause
   | Timer_fired { cause } -> Printf.sprintf {|,"cause":"%s"|} cause
-  | Net_queued { src; dst; size; msg; depart } ->
-      Printf.sprintf {|,"src":%d,"dst":%d,"size":%d,"msg":"%s","depart":%.6f|}
-        src dst size msg depart
-  | Net_delivered { src; dst; size; msg } ->
-      Printf.sprintf {|,"src":%d,"dst":%d,"size":%d,"msg":"%s"|} src dst size msg
+  | Net_queued { id; src; dst; size; msg; ready; depart; tx } ->
+      Printf.sprintf
+        {|,"id":%d,"src":%d,"dst":%d,"size":%d,"msg":"%s","ready":%.9f,"depart":%.9f,"tx":%.9f|}
+        id src dst size msg ready depart tx
+  | Net_delivered { id; src; dst; size; msg } ->
+      Printf.sprintf {|,"id":%d,"src":%d,"dst":%d,"size":%d,"msg":"%s"|} id src
+        dst size msg
 
 let to_json e =
   let context =
     if e.view < 0 then ""
     else Printf.sprintf {|,"view":%d,"height":%d|} e.view e.height
   in
-  Printf.sprintf {|{"t":%.6f,"replica":%d,"event":"%s"%s%s}|} e.time e.replica
+  Printf.sprintf {|{"t":%.9f,"replica":%d,"event":"%s"%s%s}|} e.time e.replica
     (kind_name e.kind) context (kind_fields e.kind)
 
 let pp fmt e =

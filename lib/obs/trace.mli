@@ -19,10 +19,25 @@ type kind =
   | View_change_exit  (** leader completed the view change *)
   | Timer_armed of { after : float; cause : string }
   | Timer_fired of { cause : string }
-  | Net_queued of { src : int; dst : int; size : int; msg : string; depart : float }
-      (** message entered the sender's NIC queue; [depart] is when it
-          actually leaves (uplink serialization) *)
-  | Net_delivered of { src : int; dst : int; size : int; msg : string }
+  | Net_queued of {
+      id : int;
+      src : int;
+      dst : int;
+      size : int;
+      msg : string;
+      ready : float;
+      depart : float;
+      tx : float;
+    }
+      (** message entered the sender's NIC queue. [id] pairs this event
+          with its [Net_delivered]; [ready] is when the sender's CPU handed
+          the message over (the event time itself is when the emitting
+          handler started); [depart] is when it leaves the NIC (uplink FIFO
+          wait); [tx] is the serialization time, so the wire occupies
+          [depart, depart + tx] and everything later is propagation *)
+  | Net_delivered of { id : int; src : int; dst : int; size : int; msg : string }
+      (** the pairing [id] makes queue → deliver matching exact even when
+          jitter reorders same-kind messages on one link *)
 
 type event = {
   time : float;  (** simulated seconds *)

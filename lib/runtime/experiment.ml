@@ -50,6 +50,8 @@ module Result = struct
       r.vc_latency r.unhappy r.vc_bytes r.vc_authenticators r.vc_messages
 end
 
+module Obs = Marlin_obs
+
 type throughput_result = Result.throughput = {
   clients : int;
   throughput : float;
@@ -82,6 +84,53 @@ let run_throughput (module P : C.PROTOCOL) ~params ~warmup ~duration =
     agreement = Cl.check_agreement t;
     executed;
   }
+
+let run_instrumented (module P : C.PROTOCOL) ~params ~warmup ~duration
+    ?(trace = false) () =
+  let obs = Obs.Run.create ~trace ~n:params.Cluster.n () in
+  let r =
+    run_throughput
+      (module P)
+      ~params:{ params with Cluster.obs = Some obs }
+      ~warmup ~duration
+  in
+  (r, obs)
+
+let critical_path ?label obs =
+  Obs.Critical_path.analyze ?label (Obs.Span.reconstruct (Obs.Run.trace_events obs))
+
+(* The machine-readable per-protocol record the bench JSON emitter writes:
+   throughput, commit latency, message/authenticator cost per block, and —
+   when the run was traced — the critical-path phase breakdown. *)
+let profile_json ~label ~sim_seconds (r : throughput_result) obs =
+  let metrics = Obs.Run.metrics obs in
+  let total_msgs, total_auths =
+    Array.fold_left
+      (fun (m, a) reg ->
+        let c = Obs.Metrics.consensus_sent reg in
+        (m + c.Obs.Metrics.msgs, a + c.Obs.Metrics.auths))
+      (0, 0) metrics
+  in
+  let blocks =
+    Array.fold_left
+      (fun acc reg -> max acc (Obs.Metrics.blocks_committed reg))
+      0 metrics
+  in
+  let per_block v =
+    if blocks = 0 then 0. else float_of_int v /. float_of_int blocks
+  in
+  let breakdown =
+    match Obs.Run.trace_events obs with
+    | [] -> "null"
+    | _ -> Obs.Critical_path.to_json (critical_path ~label obs)
+  in
+  Printf.sprintf
+    {|{"label":"%s","sim_seconds":%.3f,"throughput":%s,"blocks_committed":%d,"msgs_per_block":%.4f,"auths_per_block":%.4f,"commit_latency":%s,"phase_breakdown":%s}|}
+    label sim_seconds
+    (Result.throughput_to_json r)
+    blocks (per_block total_msgs) (per_block total_auths)
+    (Result.summary_json (Obs.Metrics.commit_latency metrics.(0)))
+    breakdown
 
 let sweep proto ~params ~warmup ~duration ~client_counts =
   List.map

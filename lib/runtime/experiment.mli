@@ -24,6 +24,7 @@ module Result : sig
 
   val pp_throughput : Format.formatter -> throughput -> unit
   val pp_view_change : Format.formatter -> view_change -> unit
+  val summary_json : Marlin_analysis.Stats.summary -> string
   val throughput_to_json : throughput -> string
   val view_change_to_json : view_change -> string
 end
@@ -49,6 +50,27 @@ val run_throughput :
   warmup:float -> duration:float -> throughput_result
 (** Run the cluster for [warmup + duration] simulated seconds and measure
     over the steady-state window. *)
+
+val run_instrumented :
+  Marlin_core.Consensus_intf.protocol -> params:Cluster.params ->
+  warmup:float -> duration:float -> ?trace:bool -> unit ->
+  throughput_result * Marlin_obs.Run.t
+(** [run_throughput] with a fresh observability run attached (replacing
+    any [params.obs]): per-replica metrics always, the event trace too
+    when [trace] (default [false]). *)
+
+val critical_path :
+  ?label:string -> Marlin_obs.Run.t -> Marlin_obs.Critical_path.t
+(** Span reconstruction + critical-path attribution over the run's trace
+    (empty analysis when the run was not traced). *)
+
+val profile_json :
+  label:string -> sim_seconds:float -> throughput_result ->
+  Marlin_obs.Run.t -> string
+(** The per-protocol record of the machine-readable bench output:
+    throughput, commit-latency histogram, consensus messages and
+    authenticators per committed block, and — when traced — the
+    critical-path phase breakdown ([null] otherwise). *)
 
 val sweep :
   Marlin_core.Consensus_intf.protocol -> params:Cluster.params ->

@@ -30,6 +30,7 @@ type t = {
     (src:int -> dst:int -> size:int -> Marlin_types.Message.t -> unit) option;
   mutable obs : Marlin_obs.Run.t option;
   mutable stats : stats;
+  mutable next_id : int; (* unique per accepted send; pairs queue/deliver *)
 }
 
 let create sim rng config ~endpoints =
@@ -44,14 +45,16 @@ let create sim rng config ~endpoints =
     meter = None;
     obs = None;
     stats = { messages = 0; bytes = 0; authenticators = 0 };
+    next_id = 0;
   }
 
 let register t ~id handler = t.handlers.(id) <- Some handler
 
-let deliver t ~src ~dst ~size msg =
+let deliver t ~id ~src ~dst ~size msg =
   (match t.obs with
   | Some run ->
-      Marlin_obs.Run.net_delivered run ~time:(Sim.now t.sim) ~src ~dst ~size msg
+      Marlin_obs.Run.net_delivered run ~time:(Sim.now t.sim) ~id ~src ~dst ~size
+        msg
   | None -> ());
   if not t.crashed.(dst) then
     match t.handlers.(dst) with
@@ -74,14 +77,16 @@ let send t ?earliest ~src ~dst ~size msg =
             t.stats.authenticators + Marlin_types.Message.authenticators msg;
         };
       (match t.meter with Some f -> f ~src ~dst ~size msg | None -> ());
+      let id = t.next_id in
+      t.next_id <- id + 1;
       if src = dst then begin
         (match t.obs with
         | Some run ->
-            Marlin_obs.Run.net_queued run ~time:now ~src ~dst ~size
-              ~depart:earliest msg
+            Marlin_obs.Run.net_queued run ~time:now ~id ~src ~dst ~size
+              ~ready:earliest ~depart:earliest ~tx:0. msg
         | None -> ());
         Sim.schedule_at t.sim ~time:earliest (fun () ->
-            deliver t ~src ~dst ~size msg)
+            deliver t ~id ~src ~dst ~size msg)
       end
       else begin
         let depart = Float.max earliest t.nic_free.(src) in
@@ -95,11 +100,12 @@ let send t ?earliest ~src ~dst ~size msg =
         in
         (match t.obs with
         | Some run ->
-            Marlin_obs.Run.net_queued run ~time:now ~src ~dst ~size ~depart msg
+            Marlin_obs.Run.net_queued run ~time:now ~id ~src ~dst ~size
+              ~ready:earliest ~depart ~tx msg
         | None -> ());
         let arrival = depart +. tx +. t.config.latency +. jitter +. pre_gst in
         Sim.schedule_at t.sim ~time:arrival (fun () ->
-            deliver t ~src ~dst ~size msg)
+            deliver t ~id ~src ~dst ~size msg)
       end
     end
 

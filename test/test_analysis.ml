@@ -39,6 +39,80 @@ let test_min_max_summary () =
     (s.Stats.min <= s.Stats.p50 && s.Stats.p50 <= s.Stats.p95
     && s.Stats.p95 <= s.Stats.max)
 
+let test_percentile_edge_cases () =
+  feq "singleton p0" 7.0 (Stats.percentile [ 7. ] ~p:0.);
+  feq "singleton p50" 7.0 (Stats.percentile [ 7. ] ~p:50.);
+  feq "singleton p100" 7.0 (Stats.percentile [ 7. ] ~p:100.);
+  feq "p below range clamps to min" 1.0
+    (Stats.percentile [ 1.; 2.; 3. ] ~p:(-10.));
+  feq "p above range clamps to max" 3.0
+    (Stats.percentile [ 1.; 2.; 3. ] ~p:200.);
+  let empty = Stats.summarize [] in
+  Alcotest.(check int) "empty summary count" 0 empty.Stats.count;
+  feq "empty summary mean" 0.0 empty.Stats.mean;
+  feq "empty summary p99" 0.0 empty.Stats.p99;
+  let one = Stats.summarize [ 4.2 ] in
+  Alcotest.(check int) "singleton summary count" 1 one.Stats.count;
+  feq "singleton p50 = the sample" 4.2 one.Stats.p50;
+  feq "singleton min = max" one.Stats.min one.Stats.max
+
+(* ---------- reservoir ---------- *)
+
+let test_reservoir_small_stream_is_exact () =
+  let r = Stats.Reservoir.create ~capacity:8 () in
+  Alcotest.(check bool) "fresh is empty" true (Stats.Reservoir.is_empty r);
+  List.iter (Stats.Reservoir.add r) [ 3.; 1.; 4.; 1.; 5. ];
+  Alcotest.(check int) "count" 5 (Stats.Reservoir.count r);
+  Alcotest.(check int) "all kept under capacity" 5 (Stats.Reservoir.kept r);
+  feq "mean" 2.8 (Stats.Reservoir.mean r);
+  let s = Stats.Reservoir.summarize r in
+  feq "exact max" 5.0 s.Stats.max;
+  feq "exact min" 1.0 s.Stats.min;
+  feq "median matches list stats" (Stats.percentile [ 3.; 1.; 4.; 1.; 5. ] ~p:50.)
+    (Stats.Reservoir.percentile r ~p:50.);
+  Stats.Reservoir.clear r;
+  Alcotest.(check int) "cleared" 0 (Stats.Reservoir.count r);
+  feq "cleared summary" 0.0 (Stats.Reservoir.summarize r).Stats.mean
+
+let test_reservoir_bounded_memory_exact_extremes () =
+  let capacity = 64 in
+  let r = Stats.Reservoir.create ~capacity () in
+  let n = 10_000 in
+  for i = 1 to n do
+    Stats.Reservoir.add r (float_of_int i)
+  done;
+  Alcotest.(check int) "stream length tracked" n (Stats.Reservoir.count r);
+  Alcotest.(check int) "kept bounded by capacity" capacity
+    (Stats.Reservoir.kept r);
+  let s = Stats.Reservoir.summarize r in
+  Alcotest.(check int) "summary count is the stream length" n s.Stats.count;
+  (* sum/min/max are streamed exactly, not sampled *)
+  feq "exact mean" (float_of_int (n + 1) /. 2.) s.Stats.mean;
+  feq "exact min" 1.0 s.Stats.min;
+  feq "exact max" (float_of_int n) s.Stats.max;
+  (* percentiles come from the sample: uniform input must land roughly
+     where the true quantile is (the sample is 64 points of 10k) *)
+  Alcotest.(check bool) "sampled p50 in the middle half" true
+    (s.Stats.p50 > 0.15 *. float_of_int n && s.Stats.p50 < 0.85 *. float_of_int n);
+  Alcotest.(check bool) "percentiles ordered" true
+    (s.Stats.p50 <= s.Stats.p95 && s.Stats.p95 <= s.Stats.p99)
+
+let test_reservoir_determinism_and_validation () =
+  let fill () =
+    let r = Stats.Reservoir.create ~capacity:16 () in
+    for i = 1 to 1000 do
+      Stats.Reservoir.add r (float_of_int (i * i mod 997))
+    done;
+    Stats.Reservoir.summarize r
+  in
+  let a = fill () and b = fill () in
+  feq "same stream, same sample, same p95" a.Stats.p95 b.Stats.p95;
+  feq "and same p50" a.Stats.p50 b.Stats.p50;
+  Alcotest.(check bool) "capacity 0 rejected" true
+    (match Stats.Reservoir.create ~capacity:0 () with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
 (* ---------- complexity (Table I) ---------- *)
 
 let eval p n = Complexity.evaluate p ~n ~u:(1 lsl 20) ~c:1024 ~lambda:256
@@ -123,6 +197,14 @@ let suite =
     ("mean & stddev", `Quick, test_mean_and_stddev);
     ("percentiles", `Quick, test_percentiles);
     ("min/max/summary", `Quick, test_min_max_summary);
+    ("percentile edge cases", `Quick, test_percentile_edge_cases);
+    ("reservoir: small stream exact", `Quick, test_reservoir_small_stream_is_exact);
+    ( "reservoir: bounded memory, exact extremes",
+      `Quick,
+      test_reservoir_bounded_memory_exact_extremes );
+    ( "reservoir: deterministic, validated",
+      `Quick,
+      test_reservoir_determinism_and_validation );
     ("linear vs quadratic vc communication", `Quick, test_linear_vs_quadratic_communication);
     ("authenticator complexity", `Quick, test_authenticator_complexity);
     ("phase counts", `Quick, test_phases);

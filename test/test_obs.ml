@@ -174,6 +174,39 @@ let test_disabled_sink_no_alloc () =
     (Printf.sprintf "disabled hot path allocates nothing (%.0f words)" delta)
     true (delta < 1024.)
 
+(* A metrics-only sink (no trace buffer attached) must not build trace
+   event values: per emission it may allocate only the boxed timestamp the
+   clock returns, nothing proportional to the event payload. The traced
+   path allocates the kind + event record + buffer slot on top (~10+
+   words), so a tight per-event budget catches any formatting or event
+   construction leaking onto the metrics-only path. *)
+let test_metrics_only_sink_alloc_bound () =
+  let run = Obs.Run.create ~trace:false ~n:1 () in
+  let h = Obs.Run.handle run ~clock:(fun () -> 1.0) ~replica:0 in
+  Alcotest.(check bool) "enabled" true (Obs.Sink.enabled h);
+  Alcotest.(check bool) "not tracing" false (Obs.Sink.tracing h);
+  let rounds = 100_000 in
+  (* warm up: first emissions populate the first-seen table *)
+  Obs.Sink.vote h ~view:0 ~height:1 ~phase:"prepare";
+  Obs.Sink.qc_formed h ~view:0 ~height:1 ~phase:"prepare";
+  Obs.Sink.timer_fired h ~view:0 ~cause:"view-progress";
+  let before = Gc.minor_words () in
+  for _ = 1 to rounds do
+    Obs.Sink.vote h ~view:0 ~height:1 ~phase:"prepare";
+    Obs.Sink.qc_formed h ~view:0 ~height:1 ~phase:"prepare";
+    Obs.Sink.timer_fired h ~view:0 ~cause:"view-progress"
+  done;
+  let per_event =
+    (Gc.minor_words () -. before) /. float_of_int (3 * rounds)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "metrics-only emission stays under 6 words/event (%.2f)"
+       per_event)
+    true (per_event < 6.);
+  (* and the events were in fact counted *)
+  Alcotest.(check int) "qcs counted" (rounds + 1)
+    (Obs.Metrics.qcs (Obs.Run.metrics run).(0))
+
 (* ---------- exporters ---------- *)
 
 let test_exporters () =
@@ -261,6 +294,9 @@ let suite =
     ("vote bytes reconcile with wire size", `Quick, test_vote_bytes_reconcile);
     ("commit latency histogram", `Quick, test_commit_latency_histogram);
     ("disabled sink allocates nothing", `Quick, test_disabled_sink_no_alloc);
+    ( "metrics-only sink allocation bound",
+      `Quick,
+      test_metrics_only_sink_alloc_bound );
     ("exporters (CSV/JSON/JSONL)", `Quick, test_exporters);
     ("Config.make validation", `Quick, test_config_validation);
     ("timer cause shim", `Quick, test_timer_shim);

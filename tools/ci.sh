@@ -1,0 +1,15 @@
+#!/bin/sh
+# The full gate: build, tier-1 tests, then the bench smoke pipeline with
+# its regression check against the committed baselines
+# (bench/baselines/*.json). Any tolerance violation fails the script.
+#
+# To re-bless the baselines after an intentional performance change:
+#   dune exec bench/main.exe -- smoke --json bench/baselines/BENCH_smoke.json
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build
+dune runtest
+dune build @bench-smoke
+
+echo "ci: build + tests + bench-smoke regression gate all green"
