@@ -60,11 +60,14 @@ module Recorder = struct
     Printf.printf "\njson    -> %s (%d records)\n" path (List.length !records)
 end
 
-let marlin : C.protocol = (module Marlin_core.Chained_marlin)
-let hotstuff : C.protocol = (module Marlin_core.Chained_hotstuff)
-let basic_marlin : C.protocol = (module Marlin_core.Marlin)
-let basic_hotstuff : C.protocol = (module Marlin_core.Hotstuff)
-let pbft : C.protocol = (module Marlin_core.Pbft)
+module Registry = Marlin_runtime.Registry
+module Faults = Marlin_faults
+
+let marlin = Registry.find_exn "chained-marlin"
+let hotstuff = Registry.find_exn "chained-hotstuff"
+let basic_marlin = Registry.find_exn "marlin"
+let basic_hotstuff = Registry.find_exn "hotstuff"
+let pbft = Registry.find_exn "pbft"
 
 let section title = Printf.printf "\n=== %s ===\n%!" title
 
@@ -209,7 +212,8 @@ let peaks_at_common_point ~full ~params_m ~params_h f =
   let pairs = List.combine m h in
   let qualifying =
     List.filter
-      (fun ((rm : Experiment.throughput_result), rh) ->
+      (fun ((rm : Experiment.throughput_result),
+            (rh : Experiment.throughput_result)) ->
         rm.Experiment.latency.Stats.mean <= 1.0
         && rh.Experiment.latency.Stats.mean <= 1.0)
       pairs
@@ -494,6 +498,48 @@ let ablate_batch ~full () =
     [ 125; 500; 2000; 8000 ]
 
 (* ------------------------------------------------------------------ *)
+(* Fault catalogue: recovery under crashes, partitions, Byzantine      *)
+(* ------------------------------------------------------------------ *)
+
+(* Every scenario of the marlin_faults catalogue against each protocol:
+   how long until the cluster commits again after the disruption settles,
+   and how much view-change traffic (messages/authenticators — Marlin and
+   HotStuff both stay linear in n) the recovery cost. *)
+let faults ~full () =
+  section "Fault catalogue: recovery latency and view-change traffic";
+  Printf.printf "%-20s %-18s | %9s %6s %6s | %8s %6s\n" "scenario" "protocol"
+    "recov ms" "msgs" "auths" "lat ms" "agree";
+  let protos =
+    if full then [ "marlin"; "hotstuff"; "chained-marlin"; "chained-hotstuff" ]
+    else [ "marlin"; "hotstuff" ]
+  in
+  List.iter
+    (fun (sc : Faults.Scenario.t) ->
+      List.iter
+        (fun pname ->
+          let r =
+            Experiment.run_scenario
+              ~params:(bench_params sc.Faults.Scenario.f)
+              (Registry.find_exn pname) sc
+          in
+          Printf.printf "%-20s %-18s | %9s %6d %6d | %8.0f %6B\n"
+            sc.Faults.Scenario.name pname
+            (if r.Experiment.recovered then
+               Printf.sprintf "%.0f" (r.Experiment.recovery_latency *. 1000.)
+             else "stuck")
+            r.Experiment.vc_messages r.Experiment.vc_authenticators
+            (r.Experiment.latency.Stats.mean *. 1000.)
+            r.Experiment.agreement;
+          if not r.Experiment.agreement then
+            Printf.printf "!! agreement violated: %s under %s\n"
+              sc.Faults.Scenario.name pname;
+          Recorder.add
+            ~label:(Printf.sprintf "%s/%s" sc.Faults.Scenario.name pname)
+            (Experiment.Result.fault_to_json r))
+        protos)
+    Faults.Catalogue.all
+
+(* ------------------------------------------------------------------ *)
 (* Observability: instrumented runs (--trace / --metrics-out)          *)
 (* ------------------------------------------------------------------ *)
 
@@ -642,6 +688,21 @@ let smoke () =
       ("marlin-unhappy", basic_marlin, true);
       ("hotstuff", basic_hotstuff, false);
     ];
+  (* one deterministic fault scenario, so the regression gate covers
+     recovery latency and view-change traffic under the fault subsystem *)
+  List.iter
+    (fun (label, proto) ->
+      let sc = Faults.Catalogue.leader_crash ~phase:`Prepare () in
+      let r = Experiment.run_scenario ~params:(bench_params 1) proto sc in
+      Printf.printf "%s %s: %s, %d vc msgs, agreement %B\n" label
+        sc.Faults.Scenario.name
+        (if r.Experiment.recovered then
+           Printf.sprintf "recovered in %.0f ms"
+             (r.Experiment.recovery_latency *. 1000.)
+         else "NEVER RECOVERED")
+        r.Experiment.vc_messages r.Experiment.agreement;
+      put (label ^ "/fault") (Experiment.Result.fault_to_json r))
+    [ ("marlin", basic_marlin); ("hotstuff", basic_hotstuff) ];
   List.rev !recs
 
 (* Post-hoc span analysis of a JSONL trace file (the output of
@@ -761,6 +822,9 @@ let regress ~baseline ~tolerance () =
       ([ "vc_latency" ], tol);
       ([ "vc_messages" ], 0.01);
       ([ "vc_bytes" ], 0.05);
+      (* fault records: recovery is timing, traffic is structural *)
+      ([ "recovery_latency" ], tol);
+      ([ "vc_authenticators" ], 0.01);
     ]
   in
   let checked = ref 0 and failures = ref 0 in
@@ -859,6 +923,7 @@ let () =
     | "fig10i" -> fig10i ~full ()
     | "fig10j" -> fig10j ~full ()
     | "related-work" -> related_work ~full ()
+    | "faults" -> faults ~full ()
     | "ablate-sigs" -> ablate_sigs ~full ()
     | "ablate-shadow" -> ablate_shadow ()
     | "ablate-batch" -> ablate_batch ~full ()
@@ -877,8 +942,9 @@ let () =
     | other ->
         Printf.eprintf
           "unknown target %S (try: table1 fig10a..fig10f fig10g fig10h \
-           fig10i fig10j related-work ablate-sigs ablate-shadow ablate-batch \
-           fig2-demo micro observe smoke spans regress all; observe takes \
+           fig10i fig10j related-work faults ablate-sigs ablate-shadow \
+           ablate-batch fig2-demo micro observe smoke spans regress all; \
+           observe takes \
            --trace FILE and --metrics-out FILE, spans reads --trace FILE, \
            regress takes --baseline FILE and --tolerance X, any run takes \
            --json FILE)\n"
@@ -891,8 +957,8 @@ let () =
       List.iter dispatch
         [
           "table1"; "fig10a"; "fig10b"; "fig10c"; "fig10d"; "fig10e"; "fig10f";
-          "fig10g"; "fig10h"; "fig10i"; "fig10j"; "related-work"; "ablate-sigs";
-          "ablate-shadow"; "ablate-batch"; "fig2-demo"; "micro";
+          "fig10g"; "fig10h"; "fig10i"; "fig10j"; "related-work"; "faults";
+          "ablate-sigs"; "ablate-shadow"; "ablate-batch"; "fig2-demo"; "micro";
         ]
   | targets -> List.iter dispatch targets);
   (match json_file with

@@ -1,0 +1,169 @@
+open Marlin_types
+module C = Marlin_core.Consensus_intf
+
+type behaviour = Scenario.behaviour =
+  | Equivocator
+  | Silent_leader
+  | Vote_withholder
+  | Stale_qc_voter
+
+module type PLAN = sig
+  module P : C.PROTOCOL
+
+  val plan : int -> behaviour option
+end
+
+(* The conflicting payload an equivocator fabricates: one operation from a
+   client id far above any real client, so the runtime never tries to reply
+   to it. The sequence number makes successive fabrications distinct. *)
+let poison_client = 0x7fff_0000
+
+module Wrap (A : PLAN) : C.PROTOCOL = struct
+  type t = {
+    inner : A.P.t;
+    cfg : C.config;
+    mutable equiv_seq : int;
+    (* the first view-change snapshot this replica ever advertised; a
+       stale-QC voter keeps re-advertising it, properly re-signed *)
+    mutable stale_vc : (Block.summary * High_qc.t) option;
+    mutable stale_nv : Qc.t option;
+  }
+
+  let name = A.P.name
+
+  let create cfg =
+    {
+      inner = A.P.create cfg;
+      cfg;
+      equiv_seq = 0;
+      stale_vc = None;
+      stale_nv = None;
+    }
+
+  (* -- behaviour implementations: action-list transformers -- *)
+
+  let is_send_or_broadcast = function
+    | C.Send _ | C.Broadcast _ -> false
+    | C.Commit _ | C.Timer _ -> true
+
+  let drop_votes action =
+    match action with
+    | C.Send { msg = { Message.payload = Message.Vote _; _ }; _ }
+    | C.Broadcast { Message.payload = Message.Vote _; _ } ->
+        None
+    | _ -> Some action
+
+  (* Split the other replicas into two disjoint halves (by id parity, so
+     both halves exist for any n >= 3). *)
+  let equivocate t action =
+    match action with
+    | C.Broadcast
+        ({ Message.payload = Message.Propose { block; justify }; _ } as m)
+      when A.P.is_leader t.inner -> (
+        let store = A.P.block_store t.inner in
+        let parent =
+          match block.Block.pl with
+          | Block.Hash d -> Block_store.find store d
+          | Block.Root | Block.Nil -> None
+        in
+        match parent with
+        | None -> [ action ] (* virtual / unknown parent: equivocation impossible *)
+        | Some parent ->
+            t.equiv_seq <- t.equiv_seq + 1;
+            let conflict_payload =
+              Batch.of_list
+                [ Operation.make ~client:poison_client ~seq:t.equiv_seq
+                    ~body:"equivocation" ]
+            in
+            let conflict =
+              Block.make_normal ~parent ~view:block.Block.view
+                ~payload:conflict_payload ~justify:block.Block.justify
+            in
+            let conflict_msg =
+              Message.make ~sender:m.Message.sender ~view:m.Message.view
+                (Message.Propose { block = conflict; justify })
+            in
+            let rec split dst acc =
+              if dst >= t.cfg.C.n then acc
+              else if dst = t.cfg.C.id then split (dst + 1) acc
+              else
+                let msg = if dst mod 2 = 0 then m else conflict_msg in
+                split (dst + 1) (C.Send { dst; msg } :: acc)
+            in
+            List.rev (split 0 []))
+    | _ -> [ action ]
+
+  (* Re-advertise the frozen snapshot in every view-change-class message,
+     re-signing the partial for the current vote view (the signature must
+     verify or the message is simply dropped, which would be withholding,
+     not staleness). *)
+  let stale_rewrite t msg =
+    match msg.Message.payload with
+    | Message.View_change { last; justify; parsig } -> (
+        match t.stale_vc with
+        | None ->
+            t.stale_vc <- Some (last, justify);
+            msg
+        | Some (last0, justify0)
+          when not (Block.summary_equal last0 last && High_qc.equal justify0 justify)
+          ->
+            let parsig =
+              Qc.sign_vote t.cfg.C.keychain ~signer:t.cfg.C.id
+                ~phase:Qc.Prepare ~view:msg.Message.view last0.Block.b_ref
+            in
+            Message.make ~sender:msg.Message.sender ~view:msg.Message.view
+              (Message.View_change { last = last0; justify = justify0; parsig })
+        | Some _ -> ignore parsig; msg)
+    | Message.New_view { justify } -> (
+        match t.stale_nv with
+        | None ->
+            t.stale_nv <- Some justify;
+            msg
+        | Some justify0 when not (Qc.equal justify0 justify) ->
+            Message.make ~sender:msg.Message.sender ~view:msg.Message.view
+              (Message.New_view { justify = justify0 })
+        | Some _ -> msg)
+    | _ -> msg
+
+  let go_stale t action =
+    match action with
+    | C.Send { dst; msg } -> C.Send { dst; msg = stale_rewrite t msg }
+    | C.Broadcast msg -> C.Broadcast (stale_rewrite t msg)
+    | _ -> action
+
+  let transform t actions =
+    match A.plan t.cfg.C.id with
+    | None -> actions
+    | Some Silent_leader ->
+        if A.P.is_leader t.inner then List.filter is_send_or_broadcast actions
+        else actions
+    | Some Vote_withholder -> List.filter_map drop_votes actions
+    | Some Equivocator -> List.concat_map (equivocate t) actions
+    | Some Stale_qc_voter -> List.map (go_stale t) actions
+
+  let on_start t = transform t (A.P.on_start t.inner)
+  let on_message t m = transform t (A.P.on_message t.inner m)
+  let on_view_timeout t = transform t (A.P.on_view_timeout t.inner)
+  let force_view_change t = transform t (A.P.force_view_change t.inner)
+  let on_new_payload t = transform t (A.P.on_new_payload t.inner)
+
+  (* -- introspection: straight to the wrapped instance -- *)
+
+  let current_view t = A.P.current_view t.inner
+  let is_leader t = A.P.is_leader t.inner
+  let committed_head t = A.P.committed_head t.inner
+  let committed_count t = A.P.committed_count t.inner
+  let block_store t = A.P.block_store t.inner
+  let locked_qc t = A.P.locked_qc t.inner
+  let high_qc t = A.P.high_qc t.inner
+  let cpu_meter t = A.P.cpu_meter t.inner
+end
+
+let wrap ~plan (module P : C.PROTOCOL) : C.protocol =
+  (module Wrap (struct
+    module P = P
+
+    let plan = plan
+  end))
+
+let plan_of_table table id = Hashtbl.find_opt table id

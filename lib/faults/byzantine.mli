@@ -1,0 +1,37 @@
+(** Byzantine replica wrappers.
+
+    [wrap ~plan (module P)] is a protocol module behaving exactly like [P]
+    on every replica for which [plan id] is [None], and misbehaving per
+    {!Scenario.behaviour} on the others. The wrapper interposes on the
+    {e action list} every callback returns — the inner protocol state stays
+    honest, only the outputs are corrupted — which is precisely the power a
+    Byzantine node has over the network:
+
+    - {!Scenario.Equivocator}: every [Broadcast] of a proposal becomes
+      per-destination [Send]s — half the replicas get the real block, half
+      a conflicting sibling (same parent, same justify, fabricated payload).
+    - {!Scenario.Silent_leader}: while leader, all sends are swallowed
+      (commits and timers still apply locally).
+    - {!Scenario.Vote_withholder}: [Vote] messages are swallowed.
+    - {!Scenario.Stale_qc_voter}: the first view-change snapshot the
+      replica ever advertises is frozen and re-advertised (re-signed for
+      the current view) in every later VIEW-CHANGE / NEW-VIEW.
+
+    [plan] is consulted on every callback, so behaviours can be switched on
+    mid-run by mutating the backing table — this is how the scenario DSL's
+    timed [Byzantine] events work. *)
+
+type behaviour = Scenario.behaviour =
+  | Equivocator
+  | Silent_leader
+  | Vote_withholder
+  | Stale_qc_voter
+
+val wrap :
+  plan:(int -> behaviour option) ->
+  Marlin_core.Consensus_intf.protocol ->
+  Marlin_core.Consensus_intf.protocol
+
+val plan_of_table : (int, behaviour) Hashtbl.t -> int -> behaviour option
+(** A [plan] backed by a mutable table (the scenario runner's control
+    surface for timed behaviour switches). *)

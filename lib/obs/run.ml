@@ -45,6 +45,14 @@ let net_delivered t ~time ~id ~src ~dst ~size m =
           kind = Trace.Net_delivered
               { id; src; dst; size; msg = Message.type_name m } }
 
+let fault_injected t ~time ?(target = -1) ~label () =
+  match t.trace with
+  | None -> ()
+  | Some b ->
+      Trace.add b
+        { Trace.time; replica = target; view = -1; height = -1;
+          kind = Trace.Fault_injected { label } }
+
 (* -- exporters -- *)
 
 let write_trace ?run oc t =

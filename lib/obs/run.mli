@@ -32,6 +32,13 @@ val net_delivered :
   t -> time:float -> id:int -> src:int -> dst:int -> size:int ->
   Marlin_types.Message.t -> unit
 
+val fault_injected :
+  t -> time:float -> ?target:int -> label:string -> unit -> unit
+(** A fault-scenario step fired (traced runs only — no metrics side).
+    [target] is the affected endpoint, [-1] (the default) for network-wide
+    faults. The runtime's scenario scheduler calls this for every step it
+    executes, so fault runs are self-describing in the trace. *)
+
 (* -- exporters -- *)
 
 val write_trace : ?run:string -> out_channel -> t -> unit

@@ -164,7 +164,7 @@ let preprocess (events : Trace.event list) =
               causes.(dst) <-
                 C_deliver { idx; time = e.Trace.time; id } :: causes.(dst)
       | Trace.View_enter _ | Trace.View_change_enter | Trace.View_change_exit
-      | Trace.Timer_armed _ | Trace.Timer_fired _ ->
+      | Trace.Timer_armed _ | Trace.Timer_fired _ | Trace.Fault_injected _ ->
           ())
     events;
   {

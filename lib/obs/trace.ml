@@ -19,6 +19,7 @@ type kind =
       tx : float;
     }
   | Net_delivered of { id : int; src : int; dst : int; size : int; msg : string }
+  | Fault_injected of { label : string }
 
 type event = {
   time : float;
@@ -40,6 +41,7 @@ let kind_name = function
   | Timer_fired _ -> "timer-fired"
   | Net_queued _ -> "net-queued"
   | Net_delivered _ -> "net-delivered"
+  | Fault_injected _ -> "fault-injected"
 
 (* The per-kind payload as JSON fields, leading comma included. *)
 let kind_fields = function
@@ -59,6 +61,7 @@ let kind_fields = function
   | Net_delivered { id; src; dst; size; msg } ->
       Printf.sprintf {|,"id":%d,"src":%d,"dst":%d,"size":%d,"msg":"%s"|} id src
         dst size msg
+  | Fault_injected { label } -> Printf.sprintf {|,"label":"%s"|} label
 
 let to_json e =
   let context =

@@ -38,6 +38,10 @@ type kind =
   | Net_delivered of { id : int; src : int; dst : int; size : int; msg : string }
       (** the pairing [id] makes queue → deliver matching exact even when
           jitter reorders same-kind messages on one link *)
+  | Fault_injected of { label : string }
+      (** a fault-scenario step fired, e.g. ["crash 0"] or ["heal"]; the
+          replica field is the targeted endpoint, or [-1] for network-wide
+          faults (partitions, loss, delay) *)
 
 type event = {
   time : float;  (** simulated seconds *)

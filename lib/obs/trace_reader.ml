@@ -43,6 +43,7 @@ let kind_of_json j =
           size = int_field j "size";
           msg = str_field j "msg";
         }
+  | "fault-injected" -> Trace.Fault_injected { label = str_field j "label" }
   | other -> failwith (Printf.sprintf "unknown trace event %S" other)
 
 let parse_line line =

@@ -6,6 +6,7 @@ module Netsim = Marlin_sim.Netsim
 module Rng = Marlin_sim.Rng
 module Sim_disk = Marlin_store.Sim_disk
 module Cost_model = Marlin_crypto.Cost_model
+module Scenario = Marlin_faults.Scenario
 
 type params = {
   n : int;
@@ -424,10 +425,60 @@ module Make (P : C.PROTOCOL) = struct
     start t;
     Sim.run ~until t.sim
 
-  let crash t ~at id =
-    Sim.schedule_at t.sim ~time:at (fun () ->
-        t.replicas.(id).crashed <- true;
-        Netsim.crash t.net id)
+  let crash_now t id =
+    t.replicas.(id).crashed <- true;
+    Netsim.Fault.crash t.net ~id
+
+  let crash t ~at id = Sim.schedule_at t.sim ~time:at (fun () -> crash_now t id)
+
+  (* A recovered replica rejoins with its pre-crash state and forces a view
+     change to announce itself: followers at a higher view answer with
+     their own view-change messages and fresh QCs, and the protocol's
+     view-synchronisation path fast-forwards it to the live view. *)
+  let recover_now t id =
+    let r = t.replicas.(id) in
+    if r.crashed then begin
+      r.crashed <- false;
+      Netsim.Fault.recover t.net ~id;
+      r.cpu_free <- Float.max r.cpu_free (Sim.now t.sim);
+      apply_replica_actions t r ~start:r.cpu_free (P.force_view_change r.proto);
+      relay_pending t r
+    end
+
+  let recover t ~at id =
+    Sim.schedule_at t.sim ~time:at (fun () -> recover_now t id)
+
+  let apply_scenario ?on_byzantine t (sc : Scenario.t) =
+    if Scenario.has_byzantine sc && Option.is_none on_byzantine then
+      invalid_arg
+        "Cluster.apply_scenario: scenario has Byzantine steps but no \
+         ~on_byzantine handler (wrap the protocol with \
+         Marlin_faults.Byzantine.wrap, as Experiment.run_scenario does)";
+    let execute (step : Scenario.step) =
+      (match t.params.obs with
+      | None -> ()
+      | Some run ->
+          Marlin_obs.Run.fault_injected run ~time:(Sim.now t.sim)
+            ~target:(Scenario.event_target step.Scenario.event)
+            ~label:(Scenario.event_label step.Scenario.event) ());
+      match step.Scenario.event with
+      | Scenario.Crash id -> crash_now t id
+      | Scenario.Recover id -> recover_now t id
+      | Scenario.Partition groups -> Netsim.Fault.partition t.net groups
+      | Scenario.Heal -> Netsim.Fault.heal t.net
+      | Scenario.Delay_links extra -> Netsim.Fault.delay_links t.net ~extra
+      | Scenario.Drop_fraction p -> Netsim.Fault.drop_fraction t.net ~p
+      | Scenario.Duplicate p -> Netsim.Fault.duplicate t.net ~p
+      | Scenario.Byzantine (id, b) -> (
+          match on_byzantine with Some f -> f id b | None -> ())
+    in
+    List.iter
+      (fun (step : Scenario.step) ->
+        (* time-0 steps run now, before the simulation starts, so they are
+           in force for the very first protocol callback *)
+        if step.Scenario.at <= 0. then execute step
+        else Sim.schedule_at t.sim ~time:step.Scenario.at (fun () -> execute step))
+      sc.Scenario.steps
 
   (* ---------- measurements ---------- *)
 

@@ -52,6 +52,27 @@ module Make (P : Marlin_core.Consensus_intf.PROTOCOL) : sig
   val crash : t -> at:float -> int -> unit
   (** Schedule a crash fault. *)
 
+  val recover : t -> at:float -> int -> unit
+  (** Schedule a crashed replica's recovery: it rejoins with its pre-crash
+      state, forces a view change to announce itself, and catches up via
+      the protocol's view-synchronisation path. No-op if not crashed. *)
+
+  val apply_scenario :
+    ?on_byzantine:(int -> Marlin_faults.Scenario.behaviour -> unit) ->
+    t ->
+    Marlin_faults.Scenario.t ->
+    unit
+  (** Interpret a fault scenario against this cluster: crash/recover and
+      the network events map onto {!Marlin_sim.Netsim.Fault}; each step is
+      recorded as a [fault-injected] trace event when the cluster is
+      observed. [Byzantine] steps are handed to [on_byzantine] (the caller
+      must have wrapped the protocol with [Marlin_faults.Byzantine.wrap] —
+      see [Experiment.run_scenario]).
+
+      Call before {!run}: steps at time 0 (or earlier) execute
+      immediately so they are in force for the first protocol callback.
+      @raise Invalid_argument on Byzantine steps without [on_byzantine]. *)
+
   val protocol : t -> int -> P.t
   (** Replica [id]'s protocol state (introspection). *)
 

@@ -20,6 +20,18 @@ module Result = struct
     vc_messages : int;
   }
 
+  type fault = {
+    scenario : string;
+    recovered : bool;
+    recovery_latency : float;
+    vc_messages : int;
+    vc_bytes : int;
+    vc_authenticators : int;
+    committed : int;
+    agreement : bool;
+    latency : Stats.summary;
+  }
+
   let pp_throughput fmt r =
     Format.fprintf fmt
       "clients=%d throughput=%.0f ops/s latency(mean=%.4fs p95=%.4fs) %s"
@@ -32,6 +44,14 @@ module Result = struct
       r.vc_latency
       (if r.unhappy then "unhappy" else "happy")
       r.vc_messages r.vc_bytes r.vc_authenticators
+
+  let pp_fault fmt r =
+    Format.fprintf fmt
+      "%s: %s messages=%d authenticators=%d committed=%d %s" r.scenario
+      (if r.recovered then Printf.sprintf "recovered in %.4fs" r.recovery_latency
+       else "NEVER RECOVERED")
+      r.vc_messages r.vc_authenticators r.committed
+      (if r.agreement then "agreement=ok" else "AGREEMENT VIOLATED")
 
   let summary_json (s : Stats.summary) =
     Printf.sprintf
@@ -48,6 +68,13 @@ module Result = struct
     Printf.sprintf
       {|{"vc_latency":%.6f,"unhappy":%b,"vc_bytes":%d,"vc_authenticators":%d,"vc_messages":%d}|}
       r.vc_latency r.unhappy r.vc_bytes r.vc_authenticators r.vc_messages
+
+  (* recovery_latency is -1 when the cluster never committed again *)
+  let fault_to_json r =
+    Printf.sprintf
+      {|{"scenario":"%s","recovered":%b,"recovery_latency":%.6f,"vc_messages":%d,"vc_bytes":%d,"vc_authenticators":%d,"committed":%d,"agreement":%b,"latency":%s}|}
+      r.scenario r.recovered r.recovery_latency r.vc_messages r.vc_bytes
+      r.vc_authenticators r.committed r.agreement (summary_json r.latency)
 end
 
 module Obs = Marlin_obs
@@ -66,6 +93,18 @@ type vc_result = Result.view_change = {
   vc_bytes : int;
   vc_authenticators : int;
   vc_messages : int;
+}
+
+type fault_result = Result.fault = {
+  scenario : string;
+  recovered : bool;
+  recovery_latency : float;
+  vc_messages : int;
+  vc_bytes : int;
+  vc_authenticators : int;
+  committed : int;
+  agreement : bool;
+  latency : Stats.summary;
 }
 
 let run_throughput (module P : C.PROTOCOL) ~params ~warmup ~duration =
@@ -150,7 +189,11 @@ let peak ?latency_cap results =
   match latency_cap with
   | None -> best results
   | Some cap -> (
-      match List.filter (fun r -> r.latency.Stats.mean <= cap) results with
+      match
+        List.filter
+          (fun (r : throughput_result) -> r.latency.Stats.mean <= cap)
+          results
+      with
       | [] -> best results
       | within -> best within)
 
@@ -180,7 +223,7 @@ let run_view_change (module P : C.PROTOCOL) ~params ~force_unhappy =
        never forms, and the blocks before it keep committing everywhere —
        so every replica's view timer stays aligned. *)
     Sim.schedule_at sim ~time:warm (fun () ->
-        Netsim.set_link_filter net
+        Netsim.Fault.set_link_filter net
           (Some
              (fun ~src ~dst (m : Marlin_types.Message.t) ->
                src <> 0
@@ -189,7 +232,8 @@ let run_view_change (module P : C.PROTOCOL) ~params ~force_unhappy =
                | Marlin_types.Message.Propose _ -> dst = 1
                | _ -> true)));
   Cl.crash t ~at:crash_at 0;
-  Sim.schedule_at sim ~time:crash_at (fun () -> Netsim.set_link_filter net None);
+  Sim.schedule_at sim ~time:crash_at (fun () ->
+      Netsim.Fault.set_link_filter net None);
   Cl.run t ~until:(crash_at +. (4. *. params.Cluster.base_timeout) +. 5.);
   let vc_start =
     match Cl.view_change_start t with
@@ -216,6 +260,83 @@ let run_view_change (module P : C.PROTOCOL) ~params ~force_unhappy =
     vc_bytes;
     vc_authenticators = vc_auths;
     vc_messages = vc_msgs;
+  }
+
+module Faults = Marlin_faults
+
+let run_scenario ?params ?obs (module P : C.PROTOCOL)
+    (sc : Faults.Scenario.t) =
+  let params =
+    match params with
+    | Some p -> p
+    | None -> Cluster.params_for_f sc.Faults.Scenario.f
+  in
+  let params = match obs with None -> params | Some _ -> { params with Cluster.obs = obs } in
+  (* Byzantine behaviours are switched on by inserting into this table at
+     the scripted instant; the wrapper consults it on every callback. *)
+  let plan : (int, Faults.Byzantine.behaviour) Hashtbl.t = Hashtbl.create 4 in
+  let proto : C.protocol =
+    if Faults.Scenario.has_byzantine sc then
+      Faults.Byzantine.wrap
+        ~plan:(Faults.Byzantine.plan_of_table plan)
+        (module P)
+    else (module P)
+  in
+  let module W = (val proto) in
+  let module Cl = Cluster.Make (W) in
+  let t = Cl.create params in
+  let sim = Cl.sim t in
+  (* meter consensus traffic with timestamps, as run_view_change does *)
+  let events = ref [] in
+  Netsim.on_send (Cl.net t)
+    (Some
+       (fun ~src:_ ~dst:_ ~size m ->
+         if Marlin_obs.Metrics.is_consensus_message m then
+           events :=
+             (Sim.now sim, size, Marlin_types.Message.authenticators m)
+             :: !events));
+  Cl.apply_scenario t sc ~on_byzantine:(fun id b -> Hashtbl.replace plan id b);
+  Cl.run t ~until:sc.Faults.Scenario.run_for;
+  (* probe: the highest-id replica that is neither dead at the end nor
+     Byzantine — its commits witness the cluster's recovery *)
+  let dead = Faults.Scenario.crashed_at_end sc in
+  let byz = List.map fst (Faults.Scenario.byzantine sc) in
+  let probe =
+    let rec find id =
+      if id <= 0 then 0
+      else if List.mem id dead || List.mem id byz then find (id - 1)
+      else id
+    in
+    find (params.Cluster.n - 1)
+  in
+  let settle = sc.Faults.Scenario.settle_at in
+  let first_commit = Cl.first_commit_after t ~replica:probe settle in
+  (* view-change traffic: first disruption to the recovery commit *)
+  let window_start = Faults.Scenario.first_fault_at sc in
+  let window_end =
+    Option.value first_commit ~default:sc.Faults.Scenario.run_for
+  in
+  let vc_bytes, vc_auths, vc_msgs =
+    List.fold_left
+      (fun (b, a, m) (time, size, auths) ->
+        if time >= window_start && time <= window_end then
+          (b + size, a + auths, m + 1)
+        else (b, a, m))
+      (0, 0, 0) !events
+  in
+  {
+    scenario = sc.Faults.Scenario.name;
+    recovered = first_commit <> None;
+    recovery_latency =
+      (match first_commit with Some c -> c -. settle | None -> -1.);
+    vc_messages = vc_msgs;
+    vc_bytes;
+    vc_authenticators = vc_auths;
+    committed = Cl.total_executed t ~replica:probe;
+    agreement = Cl.check_agreement t;
+    latency =
+      Stats.summarize
+        (Cl.latencies_in t ~since:0. ~until:sc.Faults.Scenario.run_for);
   }
 
 let run_with_crashes (module P : C.PROTOCOL) ~params ~crashed ~warmup ~duration =

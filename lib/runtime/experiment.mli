@@ -22,11 +22,30 @@ module Result : sig
     vc_messages : int;
   }
 
+  type fault = {
+    scenario : string;  (** scenario name *)
+    recovered : bool;  (** did the probe replica commit after [settle_at]? *)
+    recovery_latency : float;
+        (** seconds from the scenario's [settle_at] to the probe replica's
+            first commit afterwards; [-1] when it never recovered *)
+    vc_messages : int;
+        (** consensus messages from the first fault to the recovery commit *)
+    vc_bytes : int;
+    vc_authenticators : int;
+    committed : int;  (** total ops executed at the probe replica *)
+    agreement : bool;
+    latency : Marlin_analysis.Stats.summary;
+        (** client latency over the whole run — the fault's commit-latency
+            impact *)
+  }
+
   val pp_throughput : Format.formatter -> throughput -> unit
   val pp_view_change : Format.formatter -> view_change -> unit
+  val pp_fault : Format.formatter -> fault -> unit
   val summary_json : Marlin_analysis.Stats.summary -> string
   val throughput_to_json : throughput -> string
   val view_change_to_json : view_change -> string
+  val fault_to_json : fault -> string
 end
 
 type throughput_result = Result.throughput = {
@@ -43,6 +62,18 @@ type vc_result = Result.view_change = {
   vc_bytes : int;
   vc_authenticators : int;
   vc_messages : int;
+}
+
+type fault_result = Result.fault = {
+  scenario : string;
+  recovered : bool;
+  recovery_latency : float;
+  vc_messages : int;
+  vc_bytes : int;
+  vc_authenticators : int;
+  committed : int;
+  agreement : bool;
+  latency : Marlin_analysis.Stats.summary;
 }
 
 val run_throughput :
@@ -95,6 +126,19 @@ val run_view_change :
     doomed leader's final broadcasts are delivered to a single replica
     first, so view-change snapshots disagree and Marlin's unhappy path
     (PRE-PREPARE) runs. *)
+
+val run_scenario :
+  ?params:Cluster.params ->
+  ?obs:Marlin_obs.Run.t ->
+  Marlin_core.Consensus_intf.protocol ->
+  Marlin_faults.Scenario.t ->
+  fault_result
+(** Run a fault scenario end to end: size the cluster from the scenario's
+    [f] (unless [params] overrides), wrap the protocol with
+    [Marlin_faults.Byzantine.wrap] when the script has Byzantine steps,
+    interpret the script via [Cluster.apply_scenario], and measure recovery
+    latency plus the consensus traffic between the first fault and the
+    recovery commit. *)
 
 val run_with_crashes :
   Marlin_core.Consensus_intf.protocol -> params:Cluster.params ->

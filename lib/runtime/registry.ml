@@ -1,0 +1,36 @@
+module C = Marlin_core.Consensus_intf
+
+let table : (string, C.protocol) Hashtbl.t = Hashtbl.create 16
+
+let names () =
+  Hashtbl.fold (fun k _ acc -> k :: acc) table [] |> List.sort compare
+
+let register ~name proto =
+  if Hashtbl.mem table name then
+    invalid_arg
+      (Printf.sprintf "Registry.register: %S is already registered" name);
+  Hashtbl.replace table name proto
+
+let find name = Hashtbl.find_opt table name
+
+let find_exn name =
+  match Hashtbl.find_opt table name with
+  | Some p -> p
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Registry: unknown protocol %S (known: %s)" name
+           (String.concat ", " (names ())))
+
+let all () = List.map (fun name -> (name, find_exn name)) (names ())
+
+let () =
+  List.iter
+    (fun (name, proto) -> register ~name proto)
+    [
+      ("marlin", (module Marlin_core.Marlin : C.PROTOCOL));
+      ("hotstuff", (module Marlin_core.Hotstuff : C.PROTOCOL));
+      ("chained-marlin", (module Marlin_core.Chained_marlin : C.PROTOCOL));
+      ("chained-hotstuff", (module Marlin_core.Chained_hotstuff : C.PROTOCOL));
+      ("pbft", (module Marlin_core.Pbft : C.PROTOCOL));
+      ("twophase-insecure", (module Marlin_core.Twophase_insecure : C.PROTOCOL));
+    ]

@@ -1,0 +1,24 @@
+(** The protocol registry: every consensus implementation as a first-class
+    [(module PROTOCOL)] value under a stable name, so harnesses (bench
+    targets, tests, scripts) dispatch by string instead of duplicating
+    functor plumbing.
+
+    Pre-registered names: ["marlin"], ["hotstuff"] (the basic one-block
+    protocols), ["chained-marlin"], ["chained-hotstuff"] (pipelined),
+    ["pbft"], and ["twophase-insecure"] (the paper's Figure 2 strawman,
+    which livelocks — kept for the counterexample). *)
+
+val find : string -> Marlin_core.Consensus_intf.protocol option
+
+val find_exn : string -> Marlin_core.Consensus_intf.protocol
+(** @raise Invalid_argument on an unknown name, listing the known ones. *)
+
+val register : name:string -> Marlin_core.Consensus_intf.protocol -> unit
+(** Add a protocol (e.g. an experimental variant from a test).
+    @raise Invalid_argument if [name] is taken. *)
+
+val names : unit -> string list
+(** Registered names, sorted. *)
+
+val all : unit -> (string * Marlin_core.Consensus_intf.protocol) list
+(** Every registered protocol, sorted by name. *)

@@ -17,6 +17,18 @@ let default_config =
 
 type stats = { messages : int; bytes : int; authenticators : int }
 
+(* Injected network faults, grouped so [Fault.heal] can clear them in one
+   place. [group_of] encodes a partition as a group index per endpoint
+   (-1 = unlisted, may talk to anyone); the probabilistic knobs draw from
+   the simulation RNG only when non-zero, so fault-free runs consume the
+   exact same random stream as before the fault layer existed. *)
+type fault_state = {
+  mutable group_of : int array option;
+  mutable drop_fraction : float;
+  mutable duplicate_fraction : float;
+  mutable extra_delay : float;
+}
+
 type t = {
   sim : Sim.t;
   rng : Rng.t;
@@ -24,6 +36,7 @@ type t = {
   handlers : (src:int -> Marlin_types.Message.t -> unit) option array;
   nic_free : float array; (* uplink FIFO: time each endpoint's NIC frees up *)
   crashed : bool array;
+  faults : fault_state;
   mutable link_filter :
     (src:int -> dst:int -> Marlin_types.Message.t -> bool) option;
   mutable meter :
@@ -41,6 +54,13 @@ let create sim rng config ~endpoints =
     handlers = Array.make endpoints None;
     nic_free = Array.make endpoints 0.;
     crashed = Array.make endpoints false;
+    faults =
+      {
+        group_of = None;
+        drop_fraction = 0.;
+        duplicate_fraction = 0.;
+        extra_delay = 0.;
+      };
     link_filter = None;
     meter = None;
     obs = None;
@@ -50,23 +70,38 @@ let create sim rng config ~endpoints =
 
 let register t ~id handler = t.handlers.(id) <- Some handler
 
-let deliver t ~id ~src ~dst ~size msg =
+let deliver ?(observe = true) t ~id ~src ~dst ~size msg =
   (match t.obs with
-  | Some run ->
+  | Some run when observe ->
       Marlin_obs.Run.net_delivered run ~time:(Sim.now t.sim) ~id ~src ~dst ~size
         msg
-  | None -> ());
+  | _ -> ());
   if not t.crashed.(dst) then
     match t.handlers.(dst) with
     | Some handler -> handler ~src msg
     | None -> ()
+
+(* May [src] and [dst] exchange messages under the current partition?
+   Endpoints in no group (index -1, e.g. clients) may talk to anyone. *)
+let partition_allows t ~src ~dst =
+  match t.faults.group_of with
+  | None -> true
+  | Some groups ->
+      let g s = if s >= 0 && s < Array.length groups then groups.(s) else -1 in
+      let gs = g src and gd = g dst in
+      gs < 0 || gd < 0 || gs = gd
 
 let send t ?earliest ~src ~dst ~size msg =
   let now = Sim.now t.sim in
   let earliest = match earliest with None -> now | Some e -> Float.max e now in
   if not t.crashed.(src) then
     let allowed =
-      match t.link_filter with None -> true | Some f -> f ~src ~dst msg
+      (match t.link_filter with None -> true | Some f -> f ~src ~dst msg)
+      && partition_allows t ~src ~dst
+      && not
+           (t.faults.drop_fraction > 0.
+           && src <> dst
+           && Rng.bool t.rng t.faults.drop_fraction)
     in
     if allowed then begin
       t.stats <-
@@ -103,15 +138,77 @@ let send t ?earliest ~src ~dst ~size msg =
             Marlin_obs.Run.net_queued run ~time:now ~id ~src ~dst ~size
               ~ready:earliest ~depart ~tx msg
         | None -> ());
-        let arrival = depart +. tx +. t.config.latency +. jitter +. pre_gst in
+        let arrival =
+          depart +. tx +. t.config.latency +. jitter +. pre_gst
+          +. t.faults.extra_delay
+        in
         Sim.schedule_at t.sim ~time:arrival (fun () ->
-            deliver t ~id ~src ~dst ~size msg)
+            deliver t ~id ~src ~dst ~size msg);
+        (* Duplication happens in the network, past the NIC: the copy rides
+           its own propagation jitter and skips the observability hooks so
+           queue/deliver trace pairing stays exact. *)
+        if
+          t.faults.duplicate_fraction > 0.
+          && Rng.bool t.rng t.faults.duplicate_fraction
+        then begin
+          let dup_jitter = Rng.float t.rng (Float.max t.config.jitter 1e-4) in
+          Sim.schedule_at t.sim ~time:(arrival +. dup_jitter) (fun () ->
+              deliver ~observe:false t ~id ~src ~dst ~size msg)
+        end
       end
     end
 
-let crash t id = t.crashed.(id) <- true
-let is_crashed t id = t.crashed.(id)
-let set_link_filter t f = t.link_filter <- f
+module Fault = struct
+  let crash t ~id = t.crashed.(id) <- true
+  let recover t ~id = t.crashed.(id) <- false
+  let is_crashed t ~id = t.crashed.(id)
+  let set_link_filter t f = t.link_filter <- f
+
+  let partition t groups =
+    let size = Array.length t.handlers in
+    let assignment = Array.make size (-1) in
+    List.iteri
+      (fun g members ->
+        List.iter
+          (fun ep ->
+            if ep < 0 || ep >= size then
+              invalid_arg
+                (Printf.sprintf "Netsim.Fault.partition: endpoint %d not in [0, %d)"
+                   ep size);
+            if assignment.(ep) >= 0 then
+              invalid_arg
+                (Printf.sprintf
+                   "Netsim.Fault.partition: endpoint %d in two groups" ep);
+            assignment.(ep) <- g)
+          members)
+      groups;
+    t.faults.group_of <- Some assignment
+
+  let drop_fraction t ~p =
+    if p < 0. || p >= 1. then
+      invalid_arg "Netsim.Fault.drop_fraction: p must be in [0, 1)";
+    t.faults.drop_fraction <- p
+
+  let duplicate t ~p =
+    if p < 0. || p >= 1. then
+      invalid_arg "Netsim.Fault.duplicate: p must be in [0, 1)";
+    t.faults.duplicate_fraction <- p
+
+  let delay_links t ~extra =
+    if extra < 0. then invalid_arg "Netsim.Fault.delay_links: extra < 0";
+    t.faults.extra_delay <- extra
+
+  let heal t =
+    t.faults.group_of <- None;
+    t.faults.drop_fraction <- 0.;
+    t.faults.duplicate_fraction <- 0.;
+    t.faults.extra_delay <- 0.
+end
+
+(* Deprecated positional aliases, kept for old call sites. *)
+let crash t id = Fault.crash t ~id
+let is_crashed t id = Fault.is_crashed t ~id
+let set_link_filter t f = Fault.set_link_filter t f
 let on_send t f = t.meter <- f
 let set_obs t run = t.obs <- run
 let stats t = t.stats

@@ -9,6 +9,11 @@
 open Marlin_types
 module C = Marlin_core.Consensus_intf
 
+(* Registry-backed dispatch, so tests pick protocols by name instead of
+   spelling out module paths:
+     let module P = (val Harness.protocol "marlin") in ... *)
+let protocol name = Marlin_runtime.Registry.find_exn name
+
 module Make (P : C.PROTOCOL) = struct
   type node = {
     id : int;

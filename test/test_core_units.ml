@@ -125,6 +125,26 @@ let test_pacemaker_backoff () =
   Core.Pacemaker.note_progress pm;
   Alcotest.(check (float 1e-9)) "progress resets" 1.0 (Core.Pacemaker.current_timeout pm)
 
+(* The doubling saturates exactly at max — no float overshoot, no overflow
+   to infinity, however long the outage lasts. *)
+let test_pacemaker_saturation () =
+  let pm = Core.Pacemaker.create ~base:1.5 ~max:8.0 in
+  for _ = 1 to 3 do Core.Pacemaker.note_view_change pm done;
+  (* 1.5 -> 3 -> 6 -> would be 12: clamps to exactly 8, not 12 *)
+  Alcotest.(check (float 0.)) "clamps exactly at max" 8.0
+    (Core.Pacemaker.current_timeout pm);
+  for _ = 1 to 2000 do Core.Pacemaker.note_view_change pm done;
+  Alcotest.(check (float 0.)) "still exactly max after 2000 failures" 8.0
+    (Core.Pacemaker.current_timeout pm);
+  Alcotest.(check bool) "finite" true
+    (Float.is_finite (Core.Pacemaker.current_timeout pm));
+  (* recovered replicas restart their backoff from the base timeout *)
+  Core.Pacemaker.reset pm;
+  Alcotest.(check (float 0.)) "reset restores base" 1.5
+    (Core.Pacemaker.current_timeout pm);
+  Alcotest.(check int) "reset clears the failure count" 0
+    (Core.Pacemaker.consecutive_failures pm)
+
 (* ---------- committer ---------- *)
 
 let chain_of store ~len =
@@ -221,6 +241,7 @@ let suite =
     ("vote collector quorum", `Quick, test_vote_collector_quorum);
     ("vote collector invalid & gc", `Quick, test_vote_collector_invalid_and_gc);
     ("pacemaker backoff", `Quick, test_pacemaker_backoff);
+    ("pacemaker saturation + reset", `Quick, test_pacemaker_saturation);
     ("committer commits in order", `Quick, test_committer_in_order);
     ("committer fetches missing bodies", `Quick, test_committer_fetches_missing);
     ("committer conflict is fatal", `Quick, test_committer_conflict_is_fatal);

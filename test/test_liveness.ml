@@ -127,10 +127,43 @@ let test_marlin_same_schedule_recovers () =
     (List.exists (fun o -> o.Operation.body = "b2") (H.committed_ops t 3));
   Alcotest.(check bool) "safety holds" true (H.check_safety t)
 
+(* ---------- liveness resumes after GST / heal (simulated cluster) ---- *)
+
+(* The partial-synchrony story, against the real simulator: while the
+   network is partitioned (no side holds a quorum) or pre-GST lossy, no
+   progress is required — but once Netsim.Fault.heal fires, commits must
+   resume, and nothing seen in between may violate agreement. *)
+let run_scenario_for name sc =
+  Marlin_runtime.Experiment.run_scenario
+    (Marlin_runtime.Registry.find_exn name)
+    sc
+
+let test_liveness_resumes_after_heal () =
+  List.iter
+    (fun name ->
+      let r = run_scenario_for name Marlin_faults.Catalogue.partition_heal in
+      Alcotest.(check bool) (name ^ ": commits resume after heal") true
+        r.Marlin_runtime.Experiment.recovered;
+      Alcotest.(check bool) (name ^ ": agreement across the partition") true
+        r.Marlin_runtime.Experiment.agreement)
+    [ "marlin"; "hotstuff" ]
+
+let test_liveness_resumes_after_gst () =
+  List.iter
+    (fun name ->
+      let r = run_scenario_for name Marlin_faults.Catalogue.pre_gst_churn in
+      Alcotest.(check bool) (name ^ ": commits resume after GST") true
+        r.Marlin_runtime.Experiment.recovered;
+      Alcotest.(check bool) (name ^ ": agreement despite pre-GST loss") true
+        r.Marlin_runtime.Experiment.agreement)
+    [ "marlin"; "hotstuff" ]
+
 let suite =
   [
     ("two-phase insecure: Figure 2b livelock", `Quick, test_insecure_livelock);
     ("Marlin: same schedule recovers (Figure 2c)", `Quick, test_marlin_same_schedule_recovers);
+    ("liveness resumes after heal (partition)", `Quick, test_liveness_resumes_after_heal);
+    ("liveness resumes after GST (pre-GST churn)", `Quick, test_liveness_resumes_after_gst);
   ]
 
 let () = Alcotest.run "liveness" [ ("liveness", suite) ]

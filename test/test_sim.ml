@@ -199,8 +199,8 @@ let test_net_crash () =
   let got = ref 0 in
   Netsim.register net ~id:1 (fun ~src:_ _ -> incr got);
   Netsim.register net ~id:2 (fun ~src:_ _ -> incr got);
-  Netsim.crash net 1;
-  Alcotest.(check bool) "crashed" true (Netsim.is_crashed net 1);
+  Netsim.Fault.crash net ~id:1;
+  Alcotest.(check bool) "crashed" true (Netsim.Fault.is_crashed net ~id:1);
   Netsim.send net ~src:0 ~dst:1 ~size:10 (noop_msg 0);
   (* crashed sender *)
   Netsim.send net ~src:1 ~dst:2 ~size:10 (noop_msg 1);
@@ -215,14 +215,14 @@ let test_net_link_filter () =
     Netsim.register net ~id (fun ~src _ -> got := (src, id) :: !got)
   done;
   (* Partition {0,1} | {2,3}. *)
-  Netsim.set_link_filter net
+  Netsim.Fault.set_link_filter net
     (Some (fun ~src ~dst _msg -> src / 2 = dst / 2));
   Netsim.send net ~src:0 ~dst:1 ~size:10 (noop_msg 0);
   Netsim.send net ~src:0 ~dst:2 ~size:10 (noop_msg 0);
   Netsim.send net ~src:3 ~dst:2 ~size:10 (noop_msg 3);
   Sim.run sim;
   Alcotest.(check int) "two delivered" 2 (List.length !got);
-  Netsim.set_link_filter net None;
+  Netsim.Fault.set_link_filter net None;
   Netsim.send net ~src:0 ~dst:2 ~size:10 (noop_msg 0);
   Sim.run sim;
   Alcotest.(check int) "healed" 3 (List.length !got)

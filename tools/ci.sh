@@ -2,6 +2,9 @@
 # The full gate: build, tier-1 tests, then the bench smoke pipeline with
 # its regression check against the committed baselines
 # (bench/baselines/*.json). Any tolerance violation fails the script.
+# The smoke run includes a deterministic fault scenario (leader crash),
+# so the gate also covers recovery latency and view-change
+# message/authenticator counts from the marlin_faults subsystem.
 #
 # To re-bless the baselines after an intentional performance change:
 #   dune exec bench/main.exe -- smoke --json bench/baselines/BENCH_smoke.json
