@@ -73,12 +73,20 @@ let rec deliver t ~view (qc : Qc.t) =
       t.pending <- Some qc;
       { nothing with sends = fetch t ~view ~from:source qc.Qc.block.Qc.digest }
   | Some b -> (
+      let clear_pending () =
+        (* pending is a per-block fetch: match on the block reference, not
+           the whole certificate (signer sets may differ) *)
+        match t.pending with
+        | Some p when Qc.block_ref_equal p.Qc.block qc.Qc.block ->
+            t.pending <- None
+        | Some _ | None -> ()
+      in
       match Block_store.commit t.store b with
       | Ok [] ->
-          if t.pending = Some qc then t.pending <- None;
+          clear_pending ();
           nothing
       | Ok blocks ->
-          if t.pending = Some qc then t.pending <- None;
+          clear_pending ();
           t.committed <- t.committed + List.length blocks;
           { nothing with committed = blocks }
       | Error e -> (

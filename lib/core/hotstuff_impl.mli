@@ -1,0 +1,17 @@
+(** The shared HotStuff state machine behind {!Hotstuff} (basic, three
+    voting phases per block) and {!Chained_hotstuff} (pipelined, one
+    generic round per block, commit on a three-chain). The two public
+    modules are [Make] applied to the matching {!MODE}. *)
+
+(** Basic vs chained (pipelined) mode. *)
+module type MODE = sig
+  val name : string
+  val chained : bool
+end
+
+module Make (_ : MODE) : sig
+  include Consensus_intf.PROTOCOL
+
+  val prepare_qc : t -> Marlin_types.Qc.t
+  (** The highest prepareQC this replica holds (its NEW-VIEW payload). *)
+end

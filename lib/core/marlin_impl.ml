@@ -137,8 +137,9 @@ let verify_high t (h : High_qc.t) =
 
 (* Turn a committer result into actions; commits reset the pacemaker. *)
 let finish_commits t (r : Committer.result) =
-  if r.Committer.committed = [] then r.Committer.sends
-  else begin
+  match r.Committer.committed with
+  | [] -> r.Committer.sends
+  | _ :: _ -> begin
     Pacemaker.note_progress t.pacemaker;
     if Obs.enabled t.cfg.C.obs then begin
       let blocks = List.length r.Committer.committed in

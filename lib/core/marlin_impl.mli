@@ -1,0 +1,21 @@
+(** The shared Marlin state machine behind {!Marlin} (basic, two voting
+    phases per block) and {!Chained_marlin} (pipelined, one round per
+    block, commit on a two-chain). The two public modules are [Make]
+    applied to the matching {!MODE}; both inherit the paper's two-phase
+    (happy path) / three-phase (pre-prepare with virtual blocks) view
+    change. *)
+
+(** Basic vs chained (pipelined) mode. *)
+module type MODE = sig
+  val name : string
+  val chained : bool
+end
+
+module Make (_ : MODE) : sig
+  include Consensus_intf.PROTOCOL
+
+  (** Extra introspection used by protocol-level tests. *)
+
+  val last_voted : t -> Marlin_types.Block.t
+  val view_change_in_progress : t -> bool
+end

@@ -75,8 +75,9 @@ let leader_of t view = C.leader_of t.cfg view
 let msg t payload = Message.make ~sender:(me t) ~view:t.cview payload
 
 let finish_commits t (r : Committer.result) =
-  if r.Committer.committed = [] then r.Committer.sends
-  else begin
+  match r.Committer.committed with
+  | [] -> r.Committer.sends
+  | _ :: _ -> begin
     Pacemaker.note_progress t.pacemaker;
     if Obs.enabled t.cfg.C.obs then begin
       let blocks = List.length r.Committer.committed in

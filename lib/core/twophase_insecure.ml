@@ -66,8 +66,9 @@ let directly_extends ~(child : Block.t) ~(parent : Qc.block_ref) =
   && child.Block.pview = parent.Qc.block_view
 
 let finish_commits t (r : Committer.result) =
-  if r.Committer.committed = [] then r.Committer.sends
-  else begin
+  match r.Committer.committed with
+  | [] -> r.Committer.sends
+  | _ :: _ -> begin
     Pacemaker.note_progress t.pacemaker;
     C.Commit r.Committer.committed
     :: C.timer (Pacemaker.current_timeout t.pacemaker)

@@ -53,6 +53,7 @@ let count t ~phase ~view ~digest =
 
 let gc_below_view t view =
   let stale =
+    (* lint: allow hashtbl-order — removal set, the order never escapes *)
     Hashtbl.fold (fun k _ acc -> if k.view < view then k :: acc else acc) t.entries []
   in
   List.iter (Hashtbl.remove t.entries) stale

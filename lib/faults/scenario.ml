@@ -62,7 +62,8 @@ let byzantine t =
     (fun s -> match s.event with Byzantine (id, b) -> Some (id, b) | _ -> None)
     t.steps
 
-let has_byzantine t = byzantine t <> []
+let has_byzantine t =
+  match byzantine t with [] -> false | _ :: _ -> true
 
 let crashed_at_end t =
   (* ids crashed by the script and never recovered (steps are sorted) *)
@@ -75,7 +76,7 @@ let crashed_at_end t =
       | _ -> ())
     t.steps;
   Hashtbl.fold (fun id dead acc -> if dead then id :: acc else acc) tbl []
-  |> List.sort compare
+  |> List.sort Int.compare
 
 let first_fault_at t =
   let byz_free =

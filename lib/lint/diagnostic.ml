@@ -1,0 +1,54 @@
+type severity = Error | Warning
+
+let severity_label = function Error -> "error" | Warning -> "warning"
+
+type t = {
+  rule : string;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let make ~rule ~severity ~file ~line ~col message =
+  { rule; severity; file; line; col; message }
+
+let order a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> (
+          match Int.compare a.col b.col with
+          | 0 -> String.compare a.rule b.rule
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let pp fmt d =
+  Format.fprintf fmt "%s:%d:%d: [%s] %s: %s" d.file d.line d.col d.rule
+    (severity_label d.severity) d.message
+
+(* Minimal JSON string escaping: the repo's Json_lite reader round-trips
+   exactly this subset. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json d =
+  Printf.sprintf
+    {|{"rule":"%s","severity":"%s","file":"%s","line":%d,"col":%d,"message":"%s"}|}
+    (json_escape d.rule)
+    (severity_label d.severity)
+    (json_escape d.file) d.line d.col (json_escape d.message)

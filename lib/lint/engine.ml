@@ -1,0 +1,274 @@
+(* Scanning, parsing (compiler-libs [Pparse]/[Parse]), rule dispatch,
+   suppression filtering, and the two report formats. *)
+
+type result = {
+  files_scanned : int;
+  diagnostics : Diagnostic.t list;
+  suppressed : int;
+  rules_run : Rules.t list;
+}
+
+(* ---------- parsing ---------- *)
+
+let ast_of_exn exn =
+  match Location.error_of_exn exn with
+  | Some (`Ok report) ->
+      let loc = report.Location.main.loc in
+      let line = loc.Location.loc_start.Lexing.pos_lnum in
+      let col =
+        loc.Location.loc_start.Lexing.pos_cnum
+        - loc.Location.loc_start.Lexing.pos_bol
+      in
+      let msg = Format.asprintf "%t" report.Location.main.txt in
+      Rules.Broken (msg, line, max col 0)
+  | Some `Already_displayed | None ->
+      Rules.Broken (Printexc.to_string exn, 1, 0)
+
+let parse_path path =
+  try
+    if Filename.check_suffix path ".mli" then
+      Rules.Intf (Pparse.parse_interface ~tool_name:"marlin_lint" path)
+    else Rules.Impl (Pparse.parse_implementation ~tool_name:"marlin_lint" path)
+  with exn -> ast_of_exn exn
+
+let parse_string ~path source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf path;
+  try
+    if Filename.check_suffix path ".mli" then
+      Rules.Intf (Parse.interface lexbuf)
+    else Rules.Impl (Parse.implementation lexbuf)
+  with exn -> ast_of_exn exn
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* ---------- directory walk ---------- *)
+
+let is_source path =
+  Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+
+let rec walk acc path =
+  if Sys.is_directory path then
+    Sys.readdir path
+    |> Array.to_list
+    |> List.sort String.compare
+    |> List.fold_left
+         (fun acc entry ->
+           if String.length entry > 0 && entry.[0] = '.' then acc
+           else if entry = "_build" then acc
+           else walk acc (Filename.concat path entry))
+         acc
+  else if is_source path then path :: acc
+  else acc
+
+let rel_of ~root path =
+  match root with
+  | None -> path
+  | Some root ->
+      let prefix = if Filename.check_suffix root "/" then root else root ^ "/" in
+      if
+        String.length path > String.length prefix
+        && String.sub path 0 (String.length prefix) = prefix
+      then String.sub path (String.length prefix)
+             (String.length path - String.length prefix)
+      else path
+
+(* ---------- deprecated-value harvest (for the deprecated-alias rule) ---------- *)
+
+let deprecated_advice (attr : Parsetree.attribute) =
+  match attr.attr_payload with
+  | Parsetree.PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval
+              ( { pexp_desc = Pexp_constant (Pconst_string (msg, _, _)); _ },
+                _ );
+          _;
+        };
+      ] ->
+      msg
+  | _ -> ""
+
+let module_name_of rel =
+  Filename.basename rel |> Filename.remove_extension
+  |> String.capitalize_ascii
+
+let harvest_deprecated (files : Rules.file list) =
+  List.concat_map
+    (fun (f : Rules.file) ->
+      match f.Rules.ast with
+      | Rules.Intf sg ->
+          let m = module_name_of f.Rules.rel in
+          List.filter_map
+            (fun (item : Parsetree.signature_item) ->
+              match item.psig_desc with
+              | Parsetree.Psig_value vd -> (
+                  match
+                    List.find_opt
+                      (fun (a : Parsetree.attribute) ->
+                        a.attr_name.txt = "ocaml.deprecated"
+                        || a.attr_name.txt = "deprecated")
+                      vd.pval_attributes
+                  with
+                  | Some attr ->
+                      Some (m, vd.pval_name.txt, deprecated_advice attr)
+                  | None -> None)
+              | _ -> None)
+            sg
+      | Rules.Impl _ | Rules.Broken _ -> [])
+    files
+
+(* ---------- running ---------- *)
+
+let parse_error_diags (files : Rules.file list) =
+  List.filter_map
+    (fun (f : Rules.file) ->
+      match f.Rules.ast with
+      | Rules.Broken (msg, line, col) ->
+          Some
+            (Diagnostic.make ~rule:"parse-error" ~severity:Diagnostic.Error
+               ~file:f.Rules.rel ~line ~col msg)
+      | Rules.Impl _ | Rules.Intf _ -> None)
+    files
+
+let apply_warn ~warn (d : Diagnostic.t) =
+  if List.mem d.Diagnostic.rule warn then
+    { d with Diagnostic.severity = Diagnostic.Warning }
+  else d
+
+let run_project ?(warn = []) (files : Rules.file list) =
+  let project =
+    {
+      Rules.files;
+      has_file =
+        (fun rel ->
+          List.exists (fun (f : Rules.file) -> f.Rules.rel = rel) files);
+      deprecated = harvest_deprecated files;
+    }
+  in
+  let raw =
+    parse_error_diags files
+    @ List.concat_map
+        (fun (rule : Rules.t) ->
+          List.concat_map
+            (fun (f : Rules.file) ->
+              if rule.Rules.applies f.Rules.rel then rule.Rules.check project f
+              else [])
+            files)
+        Rules.all
+  in
+  let suppress_of =
+    let tbl = Hashtbl.create 16 in
+    fun (rel : string) (source : string) ->
+      match Hashtbl.find_opt tbl rel with
+      | Some s -> s
+      | None ->
+          let s = Suppress.of_source source in
+          Hashtbl.replace tbl rel s;
+          s
+  in
+  let suppressed = ref 0 in
+  let diagnostics =
+    List.filter
+      (fun (d : Diagnostic.t) ->
+        match
+          List.find_opt
+            (fun (f : Rules.file) -> f.Rules.rel = d.Diagnostic.file)
+            files
+        with
+        | Some f
+          when Suppress.allows
+                 (suppress_of f.Rules.rel f.Rules.source)
+                 ~rule:d.Diagnostic.rule ~line:d.Diagnostic.line ->
+            incr suppressed;
+            false
+        | Some _ | None -> true)
+      raw
+    |> List.map (apply_warn ~warn)
+    |> List.sort Diagnostic.order
+  in
+  {
+    files_scanned = List.length files;
+    diagnostics;
+    suppressed = !suppressed;
+    rules_run = Rules.all;
+  }
+
+let load_file ~root path =
+  {
+    Rules.path;
+    rel = rel_of ~root path;
+    source = read_file path;
+    ast = parse_path path;
+  }
+
+let run ?(warn = []) ?root ~paths () =
+  let files =
+    List.concat_map (fun p -> walk [] p) paths
+    |> List.sort String.compare
+    |> List.map (load_file ~root)
+  in
+  run_project ~warn files
+
+let lint_source ?(warn = []) ~path ~source () =
+  let file =
+    { Rules.path; rel = path; source; ast = parse_string ~path source }
+  in
+  run_project ~warn [ file ]
+
+let errors r =
+  List.length
+    (List.filter
+       (fun (d : Diagnostic.t) -> d.Diagnostic.severity = Diagnostic.Error)
+       r.diagnostics)
+
+let warnings r =
+  List.length
+    (List.filter
+       (fun (d : Diagnostic.t) -> d.Diagnostic.severity = Diagnostic.Warning)
+       r.diagnostics)
+
+(* ---------- reports ---------- *)
+
+let pp_human fmt r =
+  List.iter
+    (fun d -> Format.fprintf fmt "%a@." Diagnostic.pp d)
+    r.diagnostics;
+  Format.fprintf fmt
+    "marlin_lint: %d file(s), %d rule(s): %d error(s), %d warning(s), %d \
+     suppressed@."
+    r.files_scanned (List.length r.rules_run) (errors r) (warnings r)
+    r.suppressed
+
+let schema = "marlin-lint/1"
+
+let to_json r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf
+       {|{"schema":"%s","files":%d,"errors":%d,"warnings":%d,"suppressed":%d,|}
+       schema r.files_scanned (errors r) (warnings r) r.suppressed);
+  Buffer.add_string b {|"rules":[|};
+  List.iteri
+    (fun i (rule : Rules.t) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf {|{"name":"%s","severity":"%s","doc":"%s"}|}
+           (Diagnostic.json_escape rule.Rules.name)
+           (Diagnostic.severity_label rule.Rules.severity)
+           (Diagnostic.json_escape rule.Rules.doc)))
+    r.rules_run;
+  Buffer.add_string b {|],"diagnostics":[|};
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Diagnostic.to_json d))
+    r.diagnostics;
+  Buffer.add_string b "]}";
+  Buffer.contents b

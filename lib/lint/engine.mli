@@ -1,0 +1,37 @@
+(** The analyzer driver: walks source trees, parses every [.ml]/[.mli]
+    with compiler-libs, runs {!Rules.all} (with per-rule path scoping),
+    filters {!Suppress} waivers, and renders the report. *)
+
+type result = {
+  files_scanned : int;
+  diagnostics : Diagnostic.t list;  (** unsuppressed, in report order *)
+  suppressed : int;
+  rules_run : Rules.t list;
+}
+
+val run :
+  ?warn:string list -> ?root:string -> paths:string list -> unit -> result
+(** Lint every [.ml]/[.mli] under [paths] (files or directories; [_build]
+    and dotfiles are skipped). [root], when given, is stripped from the
+    front of each path before rule scoping — running a fixture tree at
+    [fixtures/lib/...] as if it were [lib/...]. [warn] demotes the named
+    rules to {!Diagnostic.Warning} severity. *)
+
+val lint_source :
+  ?warn:string list -> path:string -> source:string -> unit -> result
+(** Lint one in-memory source. [path] decides [.ml]/[.mli] parsing and
+    rule scoping — the test suite feeds snippets as [lib/snippet.ml]. *)
+
+val errors : result -> int
+val warnings : result -> int
+
+val pp_human : Format.formatter -> result -> unit
+(** Compiler-style [file:line:col] lines plus a one-line summary. *)
+
+val schema : string
+(** ["marlin-lint/1"] — the JSON document's schema tag, in the
+    marlin-bench/1 style. *)
+
+val to_json : result -> string
+(** One schema-versioned JSON document ({!schema}); parseable with
+    [Marlin_obs.Json_lite]. *)

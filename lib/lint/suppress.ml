@@ -1,0 +1,75 @@
+(* Inline suppressions. Two forms, both inside ordinary comments:
+
+     (* lint: allow <rule> — reason *)        line-scoped
+     (* lint: allow-file <rule> — reason *)   whole file
+
+   A line-scoped suppression silences diagnostics for <rule> on the line
+   the comment starts on and on the line after it, so it can sit at the
+   end of the offending line or on its own line just above. The scan is
+   textual (per line), which keeps it independent of the parser: a file
+   that fails to parse still has its suppressions honoured. *)
+
+type entry = { rule : string; line : int; file_wide : bool }
+
+type t = entry list
+
+(* Find "lint: allow" or "lint: allow-file" followed by a rule name.
+   Anything after the rule name (the reason) is free-form. *)
+let scan_line ~line text =
+  let marker = "lint:" in
+  let rec find_from pos acc =
+    match String.index_from_opt text pos 'l' with
+    | None -> acc
+    | Some i ->
+        if
+          i + String.length marker <= String.length text
+          && String.sub text i (String.length marker) = marker
+        then
+          let rest = String.sub text (i + 5) (String.length text - i - 5) in
+          let rest = String.trim rest in
+          let directive, rest =
+            if String.length rest >= 10 && String.sub rest 0 10 = "allow-file"
+            then (Some true, String.sub rest 10 (String.length rest - 10))
+            else if String.length rest >= 5 && String.sub rest 0 5 = "allow"
+            then (Some false, String.sub rest 5 (String.length rest - 5))
+            else (None, rest)
+          in
+          let acc =
+            match directive with
+            | None -> acc
+            | Some file_wide ->
+                let rest = String.trim rest in
+                let stop = ref (String.length rest) in
+                String.iteri
+                  (fun j c ->
+                    let word =
+                      (c >= 'a' && c <= 'z')
+                      || (c >= '0' && c <= '9')
+                      || c = '-' || c = '_'
+                    in
+                    if (not word) && j < !stop then stop := min !stop j)
+                  rest;
+                let rule = String.sub rest 0 !stop in
+                if rule = "" then acc else { rule; line; file_wide } :: acc
+          in
+          find_from (i + 1) acc
+        else find_from (i + 1) acc
+  in
+  find_from 0 []
+
+let of_source source =
+  let entries = ref [] in
+  let line = ref 0 in
+  String.split_on_char '\n' source
+  |> List.iter (fun text ->
+         incr line;
+         entries := scan_line ~line:!line text @ !entries);
+  !entries
+
+let allows t ~rule ~line =
+  List.exists
+    (fun e ->
+      e.rule = rule && (e.file_wide || e.line = line || e.line = line - 1))
+    t
+
+let count t = List.length t

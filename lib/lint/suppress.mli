@@ -1,0 +1,19 @@
+(** Inline lint suppressions.
+
+    [(* lint: allow <rule> — reason *)] silences [<rule>] on the comment's
+    own line and the line below it; [(* lint: allow-file <rule> — reason *)]
+    silences it for the whole file. The reason text is free-form but
+    expected by convention — a suppression without one should not survive
+    review. *)
+
+type t
+
+val of_source : string -> t
+(** Scan a file's full text. Purely textual, so suppressions work even in
+    files the parser rejects. *)
+
+val allows : t -> rule:string -> line:int -> bool
+
+val count : t -> int
+(** Number of suppression directives found (reported so a clean run still
+    says how much was waived). *)

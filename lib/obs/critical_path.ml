@@ -69,8 +69,9 @@ let analyze ?(label = "run") spans =
     complete = List.length complete;
     end_to_end = Stats.summarize totals;
     quorum_waits_per_commit =
-      (if complete = [] then 0.
-       else float_of_int waits /. float_of_int (List.length complete));
+      (match complete with
+      | [] -> 0.
+      | _ :: _ -> float_of_int waits /. float_of_int (List.length complete));
     components;
     phase_waits;
     max_attribution_error = max_err;
@@ -102,14 +103,15 @@ let pp fmt t =
           (ms st.seconds.Stats.p50) (ms st.seconds.Stats.p95)
           (ms st.seconds.Stats.p99))
       t.components;
-    if t.phase_waits <> [] then begin
-      Format.fprintf fmt "  quorum wait by phase:@\n";
-      List.iter
-        (fun (p, s) ->
-          Format.fprintf fmt "    %-12s n=%-5d mean %.2f ms, p95 %.2f ms@\n" p
-            s.Stats.count (ms s.Stats.mean) (ms s.Stats.p95))
-        t.phase_waits
-    end;
+    (match t.phase_waits with
+    | [] -> ()
+    | _ :: _ ->
+        Format.fprintf fmt "  quorum wait by phase:@\n";
+        List.iter
+          (fun (p, s) ->
+            Format.fprintf fmt "    %-12s n=%-5d mean %.2f ms, p95 %.2f ms@\n" p
+              s.Stats.count (ms s.Stats.mean) (ms s.Stats.p95))
+          t.phase_waits);
     Format.fprintf fmt "  max attribution error: %.3g s@\n"
       t.max_attribution_error
   end

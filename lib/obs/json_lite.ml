@@ -105,51 +105,49 @@ let rec parse_value st =
   | Some '{' ->
       advance st;
       skip_ws st;
-      if peek st = Some '}' then begin
-        advance st;
-        Obj []
-      end
-      else begin
-        let rec members acc =
-          skip_ws st;
-          let key = parse_string st in
-          skip_ws st;
-          expect st ':';
-          let v = parse_value st in
-          skip_ws st;
-          match peek st with
-          | Some ',' ->
-              advance st;
-              members ((key, v) :: acc)
-          | Some '}' ->
-              advance st;
-              List.rev ((key, v) :: acc)
-          | _ -> fail "expected ',' or '}' at %d" st.pos
-        in
-        Obj (members [])
-      end
+      (match peek st with
+      | Some '}' ->
+          advance st;
+          Obj []
+      | _ ->
+          let rec members acc =
+            skip_ws st;
+            let key = parse_string st in
+            skip_ws st;
+            expect st ':';
+            let v = parse_value st in
+            skip_ws st;
+            match peek st with
+            | Some ',' ->
+                advance st;
+                members ((key, v) :: acc)
+            | Some '}' ->
+                advance st;
+                List.rev ((key, v) :: acc)
+            | _ -> fail "expected ',' or '}' at %d" st.pos
+          in
+          Obj (members []))
   | Some '[' ->
       advance st;
       skip_ws st;
-      if peek st = Some ']' then begin
-        advance st;
-        Arr []
-      end
-      else begin
-        let rec elements acc =
-          let v = parse_value st in
-          skip_ws st;
-          match peek st with
-          | Some ',' ->
-              advance st;
-              elements (v :: acc)
-          | Some ']' ->
-              advance st;
-              List.rev (v :: acc)
-          | _ -> fail "expected ',' or ']' at %d" st.pos
-        in
-        Arr (elements [])
-      end
+      (match peek st with
+      | Some ']' ->
+          advance st;
+          Arr []
+      | _ ->
+          let rec elements acc =
+            let v = parse_value st in
+            skip_ws st;
+            match peek st with
+            | Some ',' ->
+                advance st;
+                elements (v :: acc)
+            | Some ']' ->
+                advance st;
+                List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']' at %d" st.pos
+          in
+          Arr (elements []))
   | Some 't' -> literal st "true" (Bool true)
   | Some 'f' -> literal st "false" (Bool false)
   | Some 'n' -> literal st "null" Null

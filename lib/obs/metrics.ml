@@ -115,6 +115,9 @@ let note_commit t ~height ~blocks ~ops ~time =
     Hashtbl.fold
       (fun h t0 acc -> if h <= height then (h, t0) :: acc else acc)
       t.first_seen []
+    (* the reservoir's admission stream is order-sensitive; feed it in
+       height order, not hashtable order *)
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
   in
   List.iter
     (fun (h, t0) ->

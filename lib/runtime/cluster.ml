@@ -149,10 +149,11 @@ module Make (P : C.PROTOCOL) = struct
     let finish = start +. crypto_cost +. !commit_cost in
     r.cpu_free <- finish;
     (* record metrics *)
-    if !commits <> [] then begin
-      r.executed <- r.executed + List.length !commits;
-      r.commit_log <- (finish, List.length !commits) :: r.commit_log
-    end;
+    (match !commits with
+    | [] -> ()
+    | _ :: _ ->
+        r.executed <- r.executed + List.length !commits;
+        r.commit_log <- (finish, List.length !commits) :: r.commit_log);
     (* emit *)
     List.iter
       (fun a ->
@@ -270,7 +271,7 @@ module Make (P : C.PROTOCOL) = struct
     Sim.schedule_at t.sim
       ~time:(Sim.now t.sim +. retry_after)
       (fun () ->
-        if cl.outstanding = Some seq then begin
+        if Option.equal Int.equal cl.outstanding (Some seq) then begin
           send_op t cl ~attempt:(attempt + 1) seq;
           watch_retry t cl ~attempt:(attempt + 1) seq
         end)
@@ -278,7 +279,8 @@ module Make (P : C.PROTOCOL) = struct
   let handle_client t (cl : client) ~src (m : Message.t) =
     match m.Message.payload with
     | Message.Client_reply { client; seq } ->
-        if client = cl.index && cl.outstanding = Some seq then begin
+        if client = cl.index && Option.equal Int.equal cl.outstanding (Some seq)
+        then begin
           Hashtbl.replace cl.replies src ();
           if Hashtbl.length cl.replies >= t.params.f + 1 then begin
             cl.outstanding <- None;

@@ -26,6 +26,16 @@ let add t op =
     true
   end
 
+(* Batches must be canonical: proposals feed block digests, so any
+   replica-local ordering artifact (arrival interleaving, hashtable
+   iteration) would make otherwise-identical runs diverge. *)
+let sort_by_key ops =
+  List.sort
+    (fun a b ->
+      let ca, sa = Operation.key a and cb, sb = Operation.key b in
+      match Int.compare ca cb with 0 -> Int.compare sa sb | c -> c)
+    ops
+
 let take t ~max =
   let rec go k acc =
     if k = 0 || Queue.is_empty t.queue then List.rev acc
@@ -41,7 +51,7 @@ let take t ~max =
           go k acc
       | Some Taken | None -> go k acc
   in
-  go max []
+  sort_by_key (go max [])
 
 let mark_committed t ops =
   List.iter
@@ -62,7 +72,11 @@ let is_committed t op =
   | Some In_pool | Some Taken | None -> false
 
 let requeue_taken t =
-  let ops = Hashtbl.fold (fun _ op acc -> op :: acc) t.taken [] in
+  (* the fold's order is a hashtable artifact; sort so the re-queued ops
+     re-enter in canonical key order on every replica *)
+  let ops =
+    Hashtbl.fold (fun _ op acc -> op :: acc) t.taken [] |> sort_by_key
+  in
   Hashtbl.reset t.taken;
   List.iter
     (fun op ->

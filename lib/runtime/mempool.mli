@@ -11,7 +11,12 @@ val add : t -> Marlin_types.Operation.t -> bool
 (** [true] if the operation is new (not pending, not already committed). *)
 
 val take : t -> max:int -> Marlin_types.Operation.t list
-(** Dequeue up to [max] operations. *)
+(** Dequeue up to [max] operations. Selection is FIFO, but the returned
+    batch is sorted by {!Marlin_types.Operation.key} so the proposal a
+    leader builds is a canonical function of the {e set} of operations it
+    holds — two replicas that ingested the same operations in different
+    interleavings propose byte-identical batches (the simulator's
+    regression gate diffs whole runs, so this matters). *)
 
 val mark_committed : t -> Marlin_types.Operation.t list -> unit
 (** Remove committed operations and remember their keys. *)
@@ -27,6 +32,7 @@ val snapshot : t -> Marlin_types.Operation.t list
     order, without removing them — used to re-relay to a new leader. *)
 
 val requeue_taken : t -> unit
-(** Return every taken-but-uncommitted operation to the pool. Called on
-    view changes: operations batched into blocks that the old view
-    orphaned must be re-proposed, or their clients never hear back. *)
+(** Return every taken-but-uncommitted operation to the pool, in canonical
+    key order. Called on view changes: operations batched into blocks that
+    the old view orphaned must be re-proposed, or their clients never hear
+    back. *)

@@ -3,7 +3,7 @@ module C = Marlin_core.Consensus_intf
 let table : (string, C.protocol) Hashtbl.t = Hashtbl.create 16
 
 let names () =
-  Hashtbl.fold (fun k _ acc -> k :: acc) table [] |> List.sort compare
+  Hashtbl.fold (fun k _ acc -> k :: acc) table [] |> List.sort String.compare
 
 let register ~name proto =
   if Hashtbl.mem table name then

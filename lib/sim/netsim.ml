@@ -205,10 +205,6 @@ module Fault = struct
     t.faults.extra_delay <- 0.
 end
 
-(* Deprecated positional aliases, kept for old call sites. *)
-let crash t id = Fault.crash t ~id
-let is_crashed t id = Fault.is_crashed t ~id
-let set_link_filter t f = Fault.set_link_filter t f
 let on_send t f = t.meter <- f
 let set_obs t run = t.obs <- run
 let stats t = t.stats

@@ -89,16 +89,6 @@ module Fault : sig
       (degraded network / pre-GST churn). [extra = 0.] disables. *)
 end
 
-val crash : t -> int -> unit
-[@@ocaml.deprecated "use Netsim.Fault.crash"]
-
-val is_crashed : t -> int -> bool
-[@@ocaml.deprecated "use Netsim.Fault.is_crashed"]
-
-val set_link_filter :
-  t -> (src:int -> dst:int -> Marlin_types.Message.t -> bool) option -> unit
-[@@ocaml.deprecated "use Netsim.Fault.set_link_filter"]
-
 val on_send :
   t -> (src:int -> dst:int -> size:int -> Marlin_types.Message.t -> unit) option -> unit
 (** Metering hook, called for every accepted send (before delivery). *)

@@ -1,0 +1,293 @@
+(* Tests for the marlin_lint static analyzer: every rule gets a violating
+   snippet (with the exact file:line:col asserted), a clean snippet, and a
+   suppressed variant; plus the cross-file rules (deprecated-alias,
+   missing-mli) over a real on-disk tree, the JSON report, and severity
+   demotion. *)
+
+module Engine = Marlin_lint.Engine
+module Diagnostic = Marlin_lint.Diagnostic
+module Rules = Marlin_lint.Rules
+module Json = Marlin_obs.Json_lite
+
+(* ---------- helpers ---------- *)
+
+let lint ?warn ?(path = "lib/snippet.ml") source =
+  Engine.lint_source ?warn ~path ~source ()
+
+(* Findings for one rule only — lint_source runs a single in-memory file,
+   so every lib/*.ml snippet also (correctly) trips missing-mli; tests
+   select the rule under test. *)
+let findings rule result =
+  List.filter
+    (fun d -> d.Diagnostic.rule = rule)
+    result.Engine.diagnostics
+
+let anchors rule result =
+  List.map (fun d -> (d.Diagnostic.line, d.Diagnostic.col)) (findings rule result)
+
+let check_anchors msg expected actual =
+  Alcotest.(check (list (pair int int))) msg expected actual
+
+let flags rule source = anchors rule (lint source)
+
+let clean rule source =
+  Alcotest.(check (list (pair int int)))
+    ("clean: " ^ rule) [] (flags rule source)
+
+(* ---------- poly-compare ---------- *)
+
+let test_poly_compare () =
+  check_anchors "bare compare flagged" [ (1, 12) ]
+    (flags "poly-compare" "let f a b = compare a b\n");
+  check_anchors "Stdlib.compare flagged" [ (1, 12) ]
+    (flags "poly-compare" "let g a b = Stdlib.compare a b\n");
+  check_anchors "Hashtbl.hash flagged" [ (1, 10) ]
+    (flags "poly-compare" "let h x = Hashtbl.hash x\n");
+  check_anchors "( = ) on a structured operand flagged" [ (1, 10) ]
+    (flags "poly-compare" "let p x = x = Some 3\n");
+  clean "poly-compare" "let f a b = Int.compare a b\n";
+  clean "poly-compare" "let p x = match x with Some 3 -> true | _ -> false\n";
+  (* primitive operands are fine: the rule only fires on structured shapes *)
+  clean "poly-compare" "let q x = x = 3\n";
+  (* out of scope: the rule only applies under lib/ *)
+  check_anchors "bench/ is out of scope" []
+    (anchors "poly-compare"
+       (lint ~path:"bench/snippet.ml" "let f a b = compare a b\n"))
+
+(* ---------- hashtbl-order ---------- *)
+
+let test_hashtbl_order () =
+  check_anchors "fold building a list flagged" [ (1, 13) ]
+    (flags "hashtbl-order"
+       "let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t []\n");
+  check_anchors "iter consing into a ref flagged" [ (2, 2) ]
+    (flags "hashtbl-order"
+       "let keys t acc =\n  Hashtbl.iter (fun k _ -> acc := k :: !acc) t\n");
+  clean "hashtbl-order"
+    "let keys t =\n\
+    \  List.sort Int.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])\n";
+  clean "hashtbl-order"
+    "let keys t =\n\
+    \  Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort Int.compare\n";
+  (* a local helper whose name says it sorts counts as an explicit sort *)
+  clean "hashtbl-order"
+    "let keys t =\n\
+    \  Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> sort_by_key\n";
+  (* folds that do not build a list (sums, counts) are order-insensitive *)
+  clean "hashtbl-order" "let n t = Hashtbl.fold (fun _ _ acc -> acc + 1) t 0\n"
+
+(* ---------- wall-clock ---------- *)
+
+let test_wall_clock () =
+  check_anchors "Unix.gettimeofday flagged" [ (1, 13) ]
+    (flags "wall-clock" "let now () = Unix.gettimeofday ()\n");
+  check_anchors "global Random flagged" [ (1, 12) ]
+    (flags "wall-clock" "let r () = (Random.int 10 : int)\n");
+  clean "wall-clock" "let r st = Random.State.int st 10\n";
+  (* allowlist: bench/main.ml reports human wall time *)
+  check_anchors "bench/main.ml allowlisted" []
+    (anchors "wall-clock"
+       (lint ~path:"bench/main.ml" "let now () = Unix.gettimeofday ()\n"));
+  (* allowlist: lib/store does real filesystem I/O *)
+  check_anchors "lib/store allowlisted" []
+    (anchors "wall-clock"
+       (lint ~path:"lib/store/wal.ml" "let now () = Unix.gettimeofday ()\n"))
+
+(* ---------- float-equality ---------- *)
+
+let test_float_equality () =
+  check_anchors "( = ) against a float literal flagged" [ (1, 10) ]
+    (flags "float-equality" "let p x = x = 1.0\n");
+  check_anchors "( <> ) against a float literal flagged" [ (1, 10) ]
+    (flags "float-equality" "let p x = 0.5 <> x\n");
+  clean "float-equality" "let p x = Float.abs (x -. 1.0) < 1e-9\n";
+  clean "float-equality" "let p x = x < 1.0\n"
+
+(* ---------- toplevel-state ---------- *)
+
+let test_toplevel_state () =
+  check_anchors "toplevel Hashtbl.create flagged" [ (1, 0) ]
+    (flags "toplevel-state" "let cache = Hashtbl.create 16\n");
+  check_anchors "toplevel ref flagged" [ (1, 0) ]
+    (flags "toplevel-state" "let hits = ref 0\n");
+  clean "toplevel-state" "let create () = Hashtbl.create 16\n";
+  (* the registry is the one sanctioned process-global table *)
+  check_anchors "registry allowlisted" []
+    (anchors "toplevel-state"
+       (lint ~path:"lib/runtime/registry.ml" "let t = Hashtbl.create 7\n"));
+  (* out of scope outside lib/ *)
+  check_anchors "test/ is out of scope" []
+    (anchors "toplevel-state"
+       (lint ~path:"test/snippet.ml" "let cache = Hashtbl.create 16\n"))
+
+(* ---------- suppression ---------- *)
+
+let test_suppression () =
+  let src =
+    "(* lint: allow poly-compare -- digests are flat strings here *)\n\
+     let f a b = compare a b\n"
+  in
+  let r = lint src in
+  check_anchors "waived finding dropped" [] (anchors "poly-compare" r);
+  Alcotest.(check bool) "counted as suppressed" true (r.Engine.suppressed >= 1);
+  (* same-line comment works too *)
+  check_anchors "same-line waiver" []
+    (anchors "float-equality"
+       (lint "let p x = x = 1.0 (* lint: allow float-equality -- exact *)\n"));
+  (* a waiver for rule A does not silence rule B *)
+  check_anchors "waiver is per-rule" [ (2, 10) ]
+    (flags "float-equality"
+       "(* lint: allow poly-compare -- wrong rule *)\nlet p x = x = 1.0\n");
+  (* file-wide waiver *)
+  check_anchors "allow-file waives everywhere" []
+    (anchors "float-equality"
+       (lint
+          "(* lint: allow-file float-equality -- table of exact constants *)\n\
+           let p x = x = 1.0\n\
+           let q x = x = 2.0\n"))
+
+(* ---------- cross-file rules over a real tree ---------- *)
+
+let with_temp_tree files f =
+  let dir = Filename.temp_file "marlin_lint_test" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let cleanup = ref [ dir ] in
+  List.iter
+    (fun (rel, source) ->
+      let path = Filename.concat dir rel in
+      let parent = Filename.dirname path in
+      if not (Sys.file_exists parent) then begin
+        Sys.mkdir parent 0o755;
+        cleanup := parent :: !cleanup
+      end;
+      let oc = open_out path in
+      output_string oc source;
+      close_out oc;
+      cleanup := path :: !cleanup)
+    files;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p ->
+          try if Sys.is_directory p then Sys.rmdir p else Sys.remove p
+          with Sys_error _ -> ())
+        !cleanup)
+    (fun () -> f dir)
+
+let test_missing_mli () =
+  with_temp_tree
+    [
+      ("lib/with_mli.ml", "let x = 1\n");
+      ("lib/with_mli.mli", "val x : int\n");
+      ("lib/without_mli.ml", "let y = 2\n");
+      ("lib/shapes_intf.ml", "module type S = sig end\n");
+    ]
+    (fun dir ->
+      let r = Engine.run ~root:dir ~paths:[ dir ] () in
+      let hits =
+        List.map (fun d -> d.Diagnostic.file) (findings "missing-mli" r)
+      in
+      Alcotest.(check (list string))
+        "only the interface-less module is flagged, _intf exempt"
+        [ "lib/without_mli.ml" ] hits)
+
+let test_deprecated_alias () =
+  with_temp_tree
+    [
+      ( "lib/legacy.mli",
+        "val old_send : int -> unit\n\
+        \  [@@ocaml.deprecated \"use Transport.send instead\"]\n" );
+      ("lib/legacy.ml", "let old_send _ = ()\n");
+      ("lib/caller.ml", "let ping () = Legacy.old_send 3\n");
+      ("lib/caller.mli", "val ping : unit -> unit\n");
+    ]
+    (fun dir ->
+      let r = Engine.run ~root:dir ~paths:[ dir ] () in
+      match findings "deprecated-alias" r with
+      | [ d ] ->
+          Alcotest.(check string) "anchored at the call site" "lib/caller.ml"
+            d.Diagnostic.file;
+          Alcotest.(check bool) "message carries the advice" true
+            (let msg = d.Diagnostic.message in
+             let needle = "Transport.send" in
+             let n = String.length msg and m = String.length needle in
+             let rec go i = i + m <= n && (String.sub msg i m = needle || go (i + 1)) in
+             go 0)
+      | ds ->
+          Alcotest.failf "expected exactly one deprecated-alias finding, got %d"
+            (List.length ds))
+
+(* ---------- severity demotion and report plumbing ---------- *)
+
+let test_warn_demotes () =
+  let r = lint ~warn:[ "poly-compare" ] "let f a b = compare a b\n" in
+  match findings "poly-compare" r with
+  | [ d ] ->
+      Alcotest.(check string) "demoted to warning" "warning"
+        (Diagnostic.severity_label d.Diagnostic.severity)
+  | _ -> Alcotest.fail "expected exactly one poly-compare finding"
+
+let test_exact_diagnostic_text () =
+  let r = lint "let f a b = compare a b\n" in
+  match findings "poly-compare" r with
+  | [ d ] ->
+      Alcotest.(check string) "compiler-style rendering"
+        "lib/snippet.ml:1:12: [poly-compare] error: polymorphic compare; use \
+         an explicit comparator (Rank.compare, Int.compare, String.compare, \
+         ...)"
+        (Format.asprintf "%a" Diagnostic.pp d)
+  | _ -> Alcotest.fail "expected exactly one poly-compare finding"
+
+let test_json_report () =
+  let r = lint "let f a b = compare a b\nlet p x = x = 1.0\n" in
+  let json = Json.parse_exn (Engine.to_json r) in
+  Alcotest.(check (option string)) "schema tag" (Some Engine.schema)
+    (Json.string_at [ "schema" ] json);
+  Alcotest.(check (option int)) "files counted" (Some 1)
+    (Json.int_at [ "files" ] json);
+  Alcotest.(check (option int)) "errors counted" (Some (Engine.errors r))
+    (Json.int_at [ "errors" ] json);
+  let diags = Option.get (Json.to_list (Option.get (Json.mem [ "diagnostics" ] json))) in
+  Alcotest.(check int) "every diagnostic serialized"
+    (List.length r.Engine.diagnostics) (List.length diags);
+  let poly =
+    List.find
+      (fun d -> Json.string_at [ "rule" ] d = Some "poly-compare")
+      diags
+  in
+  Alcotest.(check (option int)) "line field" (Some 1)
+    (Json.int_at [ "line" ] poly);
+  Alcotest.(check (option int)) "col field" (Some 12)
+    (Json.int_at [ "col" ] poly)
+
+let test_broken_source_reported () =
+  let r = lint "let f = (\n" in
+  Alcotest.(check bool) "parse error surfaces as a finding" true
+    (Engine.errors r > 0)
+
+let test_rule_inventory () =
+  Alcotest.(check int) "seven rules ship" 7 (List.length Rules.all);
+  Alcotest.(check bool) "find knows poly-compare" true
+    (Option.is_some (Rules.find "poly-compare"));
+  Alcotest.(check bool) "find rejects unknowns" true
+    (Option.is_none (Rules.find "no-such-rule"))
+
+let suite =
+  [
+    ("poly-compare", `Quick, test_poly_compare);
+    ("hashtbl-order", `Quick, test_hashtbl_order);
+    ("wall-clock", `Quick, test_wall_clock);
+    ("float-equality", `Quick, test_float_equality);
+    ("toplevel-state", `Quick, test_toplevel_state);
+    ("suppression comments", `Quick, test_suppression);
+    ("missing-mli over a tree", `Quick, test_missing_mli);
+    ("deprecated-alias over a tree", `Quick, test_deprecated_alias);
+    ("--warn demotes severity", `Quick, test_warn_demotes);
+    ("diagnostic rendering is exact", `Quick, test_exact_diagnostic_text);
+    ("json report round-trips", `Quick, test_json_report);
+    ("broken source is a finding", `Quick, test_broken_source_reported);
+    ("rule inventory", `Quick, test_rule_inventory);
+  ]
+
+let () = Alcotest.run "lint" [ ("lint", suite) ]

@@ -55,6 +55,23 @@ let test_mempool_requeue_taken () =
   Alcotest.(check bool) "committed op stays out" true
     (not (List.exists (fun o -> o.Operation.seq = 1) again))
 
+(* Regression for the batch-determinism bug: two replicas holding the
+   same operation {e set} must propose byte-identical batches, whatever
+   interleaving the network delivered the operations in. *)
+let test_mempool_batch_canonical () =
+  let ops = List.concat_map (fun c -> List.map (op ~client:c) [ 3; 1; 2 ]) [ 2; 1; 3 ] in
+  let a = Mempool.create () and b = Mempool.create () in
+  List.iter (fun o -> ignore (Mempool.add a o)) ops;
+  List.iter (fun o -> ignore (Mempool.add b o)) (List.rev ops);
+  let keys m = List.map Operation.key (Mempool.take m ~max:9) in
+  Alcotest.(check (list (pair int int)))
+    "insertion order does not leak into the batch" (keys a) (keys b);
+  (* and a view change must re-propose in the same canonical order *)
+  Mempool.requeue_taken a;
+  Mempool.requeue_taken b;
+  Alcotest.(check (list (pair int int)))
+    "requeue is order-insensitive too" (keys a) (keys b)
+
 let test_mempool_snapshot () =
   let m = Mempool.create () in
   List.iter (fun s -> ignore (Mempool.add m (op s))) [ 1; 2; 3 ];
@@ -145,6 +162,7 @@ let suite =
     ("mempool dedup", `Quick, test_mempool_dedup);
     ("mempool commit clears", `Quick, test_mempool_commit_clears);
     ("mempool requeues orphaned ops", `Quick, test_mempool_requeue_taken);
+    ("mempool batches are canonical", `Quick, test_mempool_batch_canonical);
     ("mempool snapshot", `Quick, test_mempool_snapshot);
     ("cluster measurement windows", `Quick, test_cluster_windows);
     ("cluster determinism", `Quick, test_cluster_deterministic);

@@ -1,6 +1,9 @@
 #!/bin/sh
-# The full gate: build, tier-1 tests, then the bench smoke pipeline with
-# its regression check against the committed baselines
+# The full gate: build, tier-1 tests, the marlin_lint static-analysis
+# pass (`dune build @lint` — determinism/protocol-safety idioms over
+# lib/ bench/ test/, plus the seeded-violation fixture check), then the
+# bench smoke pipeline with its regression check against the committed
+# baselines
 # (bench/baselines/*.json). Any tolerance violation fails the script.
 # The smoke run includes a deterministic fault scenario (leader crash),
 # so the gate also covers recovery latency and view-change
@@ -13,6 +16,7 @@ cd "$(dirname "$0")/.."
 
 dune build
 dune runtest
+dune build @lint
 dune build @bench-smoke
 
-echo "ci: build + tests + bench-smoke regression gate all green"
+echo "ci: build + tests + lint + bench-smoke regression gate all green"

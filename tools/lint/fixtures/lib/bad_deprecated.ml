@@ -1,0 +1,2 @@
+(* Fixture: trips deprecated-alias (Legacy.old_send is [@@ocaml.deprecated]). *)
+let ping () = Legacy.old_send 3

@@ -1,0 +1,1 @@
+val ping : unit -> unit

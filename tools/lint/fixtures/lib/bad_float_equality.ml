@@ -1,0 +1,2 @@
+(* Fixture: trips float-equality (exact = against a float literal). *)
+let is_unit x = x = 1.0

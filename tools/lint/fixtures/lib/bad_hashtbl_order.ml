@@ -1,0 +1,2 @@
+(* Fixture: trips hashtbl-order (fold builds a list, never sorted). *)
+let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t []

@@ -1,0 +1,1 @@
+val keys : (int, int) Hashtbl.t -> int list

@@ -1,0 +1,2 @@
+(* Fixture: trips missing-mli (no interface file on purpose). *)
+let id x = x

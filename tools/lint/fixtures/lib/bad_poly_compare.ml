@@ -1,0 +1,3 @@
+(* Fixture: trips poly-compare (bare polymorphic [compare]). *)
+let cmp = compare
+let max3 a b c = if cmp a b >= 0 && cmp a c >= 0 then a else if cmp b c >= 0 then b else c

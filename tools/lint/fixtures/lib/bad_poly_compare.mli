@@ -1,0 +1,2 @@
+val cmp : 'a -> 'a -> int
+val max3 : 'a -> 'a -> 'a -> 'a

@@ -1,0 +1,3 @@
+(* Fixture: trips toplevel-state (process-global mutable table). *)
+let cache : (int, int) Hashtbl.t = Hashtbl.create 16
+let remember k v = Hashtbl.replace cache k v

@@ -1,0 +1,2 @@
+val cache : (int, int) Hashtbl.t
+val remember : int -> int -> unit

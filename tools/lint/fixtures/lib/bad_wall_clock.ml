@@ -1,0 +1,3 @@
+(* Fixture: trips wall-clock (ambient time + global Random). *)
+let now () = Unix.gettimeofday ()
+let jitter () = Random.float 0.1

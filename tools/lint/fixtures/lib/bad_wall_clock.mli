@@ -1,0 +1,2 @@
+val now : unit -> float
+val jitter : unit -> float

@@ -1,0 +1,1 @@
+let old_send _ = ()

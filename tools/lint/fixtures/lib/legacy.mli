@@ -1,0 +1,2 @@
+val old_send : int -> unit
+  [@@ocaml.deprecated "use Transport.send instead"]

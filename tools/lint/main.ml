@@ -1,0 +1,96 @@
+(* marlin_lint — repo-specific static analysis over lib/, bench/, test/.
+
+   Usage: marlin_lint [options] PATH...
+     --json FILE   also write the marlin-lint/1 JSON report (- = stdout)
+     --root DIR    strip DIR/ from paths before rule scoping (fixtures)
+     --warn RULE   demote RULE to warning severity (repeatable)
+     --quiet       suppress the human report (summary still printed)
+     --list-rules  print every rule with severity and doc, then exit
+
+   Exit status: 0 clean, 1 error-severity diagnostics, 2 usage error. *)
+
+module Lint = Marlin_lint.Engine
+module Rules = Marlin_lint.Rules
+module Diagnostic = Marlin_lint.Diagnostic
+
+let usage () =
+  prerr_endline
+    "usage: marlin_lint [--json FILE|-] [--root DIR] [--warn RULE] [--quiet] \
+     [--list-rules] PATH...";
+  exit 2
+
+let list_rules () =
+  List.iter
+    (fun (r : Rules.t) ->
+      Printf.printf "%-16s %-7s %s\n" r.Rules.name
+        (Diagnostic.severity_label r.Rules.severity)
+        r.Rules.doc)
+    Rules.all;
+  exit 0
+
+let () =
+  let json = ref None
+  and root = ref None
+  and warn = ref []
+  and quiet = ref false
+  and paths = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: file :: rest ->
+        json := Some file;
+        parse rest
+    | "--root" :: dir :: rest ->
+        root := Some dir;
+        parse rest
+    | "--warn" :: rule :: rest ->
+        if Rules.find rule = None then begin
+          Printf.eprintf "marlin_lint: unknown rule %S (see --list-rules)\n"
+            rule;
+          exit 2
+        end;
+        warn := rule :: !warn;
+        parse rest
+    | "--quiet" :: rest ->
+        quiet := true;
+        parse rest
+    | "--list-rules" :: _ -> list_rules ()
+    | ("--json" | "--root" | "--warn") :: [] -> usage ()
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' -> usage ()
+    | path :: rest ->
+        paths := path :: !paths;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let paths = List.rev !paths in
+  if paths = [] then usage ();
+  List.iter
+    (fun p ->
+      if not (Sys.file_exists p) then begin
+        Printf.eprintf "marlin_lint: no such path %S\n" p;
+        exit 2
+      end)
+    paths;
+  let result = Lint.run ~warn:!warn ?root:!root ~paths () in
+  (* with --json - the JSON document owns stdout; the human report moves
+     to stderr so the stream stays parseable *)
+  let fmt =
+    match !json with
+    | Some "-" -> Format.err_formatter
+    | Some _ | None -> Format.std_formatter
+  in
+  if not !quiet then Format.fprintf fmt "%a" Lint.pp_human result
+  else
+    Format.fprintf fmt
+      "marlin_lint: %d file(s): %d error(s), %d warning(s), %d suppressed@."
+      result.Lint.files_scanned (Lint.errors result) (Lint.warnings result)
+      result.Lint.suppressed;
+  (match !json with
+  | Some "-" -> print_endline (Lint.to_json result)
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Lint.to_json result);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "json -> %s\n" file
+  | None -> ());
+  exit (if Lint.errors result > 0 then 1 else 0)
