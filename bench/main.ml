@@ -881,6 +881,317 @@ let regress ~baseline ~tolerance () =
   !failures
 
 (* ------------------------------------------------------------------ *)
+(* Scaling: consensus traffic / latency / scheduler footprint vs n     *)
+(* ------------------------------------------------------------------ *)
+
+(* The n-sweep behind the linearity claim at scale: for every registry
+   protocol and each n, one happy-path window (consensus msgs, auths,
+   bytes, committed blocks, client latency, the event queue's peak
+   occupancy) and one leader-crash view change (vc latency and traffic).
+   Everything but wall_seconds is simulated and therefore deterministic;
+   with --json the output is the BENCH_scaling.json baseline format. *)
+
+let scaling_ns ~smoke =
+  if smoke then [ 8; 16; 32; 64 ] else [ 8; 16; 32; 64; 128; 256 ]
+
+(* PBFT's happy path really is O(n^2) messages, each vote carrying a tag
+   the receiver verifies — so its wall-clock cost grows ~n^3 and would
+   dwarf the rest of the sweep. The quadratic divergence is unmistakable
+   well before the cap; the cap is printed, never silent. *)
+let scaling_cap ~smoke name =
+  match name with "pbft" -> if smoke then 32 else 64 | _ -> max_int
+
+let scaling_params ~smoke n =
+  let f = max 1 ((n - 1) / 3) in
+  (* view timers only need to cover commit time at these light loads; the
+     bench_params formula would inflate the leader-crash windows (4 *
+     base_timeout of simulated post-recovery traffic) at n = 256 *)
+  let base_timeout = 1.0 +. (float_of_int n *. 0.01) in
+  {
+    Cluster.default_params with
+    Cluster.n;
+    f;
+    clients = (if smoke then 8 else 16);
+    batch_max = 400;
+    base_timeout;
+    max_timeout = 8. *. base_timeout;
+  }
+
+let scaling ~smoke () =
+  let ns = scaling_ns ~smoke in
+  section
+    (Printf.sprintf "Scaling: consensus traffic vs n (n in {%s}%s)"
+       (String.concat ", " (List.map string_of_int ns))
+       (if smoke then "; smoke" else ""));
+  Printf.printf "%-18s %5s %10s %12s %12s %9s %8s %8s %10s %8s\n" "protocol"
+    "n" "tput" "msgs/block" "auths/block" "vc ms" "vc msgs" "vc auth"
+    "peak evts" "wall s";
+  let recs = ref [] in
+  List.iter
+    (fun (name, proto) ->
+      let cap = scaling_cap ~smoke name in
+      (match List.filter (fun n -> n > cap) ns with
+      | [] -> ()
+      | capped ->
+          Printf.printf
+            "%-18s capped at n=%d (skipping n in {%s}: O(n^2) vote \
+             verification dominates wall time)\n"
+            name cap
+            (String.concat ", " (List.map string_of_int capped)));
+      List.iter
+        (fun n ->
+          let t0 = Unix.gettimeofday () in
+          let params = scaling_params ~smoke n in
+          let module P = (val proto : C.PROTOCOL) in
+          let module Cl = Cluster.Make (P) in
+          (* happy-path window *)
+          let obs = Obs.Run.create ~n () in
+          let t = Cl.create { params with Cluster.obs = Some obs } in
+          let msgs = ref 0 and auths = ref 0 and bytes = ref 0 in
+          Marlin_sim.Netsim.on_send (Cl.net t)
+            (Some
+               (fun ~src:_ ~dst:_ ~size m ->
+                 if Obs.Metrics.is_consensus_message m then begin
+                   incr msgs;
+                   bytes := !bytes + size;
+                   auths := !auths + Marlin_types.Message.authenticators m
+                 end));
+          let warm = 1.0 and dur = if smoke then 2.0 else 3.0 in
+          Cl.run t ~until:(warm +. dur);
+          let blocks =
+            Array.fold_left
+              (fun acc reg -> max acc (Obs.Metrics.blocks_committed reg))
+              0 (Obs.Run.metrics obs)
+          in
+          let executed =
+            Cl.committed_ops_in t ~replica:0 ~since:warm ~until:(warm +. dur)
+          in
+          let latency =
+            Stats.summarize (Cl.latencies_in t ~since:warm ~until:(warm +. dur))
+          in
+          let agreement = Cl.check_agreement t in
+          let peak_events = Marlin_sim.Sim.peak_pending (Cl.sim t) in
+          let per_block v =
+            float_of_int v /. float_of_int (max 1 blocks)
+          in
+          (* leader-crash view change, fresh cluster *)
+          let vc =
+            Experiment.run_view_change proto
+              ~params:{ params with Cluster.obs = None }
+              ~force_unhappy:false
+          in
+          let vc_latency =
+            if Float.is_finite vc.Experiment.vc_latency then
+              vc.Experiment.vc_latency
+            else -1. (* never recovered in the window (e.g. a livelock) *)
+          in
+          let wall = Unix.gettimeofday () -. t0 in
+          let throughput = float_of_int executed /. dur in
+          Printf.printf
+            "%-18s %5d %10.1f %12.2f %12.2f %9.0f %8d %8d %10d %8.2f\n%!" name
+            n throughput (per_block !msgs) (per_block !auths)
+            (vc_latency *. 1000.) vc.Experiment.vc_messages
+            vc.Experiment.vc_authenticators peak_events wall;
+          let label = Printf.sprintf "%s n=%d" name n in
+          let data =
+            Printf.sprintf
+              {|{"n":%d,"f":%d,"clients":%d,"throughput":%.2f,"latency_mean":%.6f,"blocks":%d,"happy_msgs":%d,"happy_auths":%d,"happy_bytes":%d,"msgs_per_block":%.4f,"auths_per_block":%.4f,"vc_latency":%.6f,"vc_msgs":%d,"vc_auths":%d,"vc_bytes":%d,"peak_events":%d,"agreement":%b,"wall_seconds":%.3f}|}
+              n params.Cluster.f params.Cluster.clients throughput
+              latency.Stats.mean blocks !msgs !auths !bytes (per_block !msgs)
+              (per_block !auths) vc_latency vc.Experiment.vc_messages
+              vc.Experiment.vc_authenticators vc.Experiment.vc_bytes
+              peak_events agreement wall
+          in
+          recs := (label, data) :: !recs;
+          Recorder.add ~label data)
+        (List.filter (fun n -> n <= cap) ns))
+    (Registry.all ());
+  (* the headline: view-change authenticators, linear vs quadratic *)
+  let vc_auths_of proto_name n =
+    List.assoc_opt (Printf.sprintf "%s n=%d" proto_name n) !recs
+    |> Option.map (fun d ->
+           match Obs.Json_lite.parse d with
+           | Ok j -> Obs.Json_lite.float_at [ "vc_auths" ] j
+           | Error _ -> None)
+    |> Option.join
+  in
+  let lo = List.hd ns in
+  let growth proto_name =
+    (* ratio over the protocol's widest measured span *)
+    let hi =
+      List.fold_left
+        (fun acc n -> if vc_auths_of proto_name n <> None then n else acc)
+        lo ns
+    in
+    match (vc_auths_of proto_name lo, vc_auths_of proto_name hi) with
+    | Some a_lo, Some a_hi when a_lo > 0. && hi > lo ->
+        Some (hi, a_lo, a_hi)
+    | _ -> None
+  in
+  (match (growth "marlin", growth "pbft") with
+  | Some (m_hi_n, m_lo, m_hi), Some (p_hi_n, p_lo, p_hi) ->
+      Printf.printf
+        "\nvc authenticators vs n: marlin %.0f@n=%d -> %.0f@n=%d (%.1fx for \
+         %.1fx n, linear); pbft %.0f@n=%d -> %.0f@n=%d (%.1fx for %.1fx n, \
+         quadratic)\n"
+        m_lo lo m_hi m_hi_n (m_hi /. m_lo)
+        (float_of_int m_hi_n /. float_of_int lo)
+        p_lo lo p_hi p_hi_n (p_hi /. p_lo)
+        (float_of_int p_hi_n /. float_of_int lo)
+  | _ -> ());
+  List.rev !recs
+
+(* Regression gate over the committed scaling baseline: a fresh smoke-size
+   sweep, structural counts tight, timing at the user tolerance, plus an
+   absolute wall-clock budget so a scheduler complexity regression (the
+   event queue or broadcast fan-out going super-linear) fails loudly even
+   if every simulated metric still matches. *)
+let scaling_regress ~baseline ~tolerance ~budget () =
+  let module J = Obs.Json_lite in
+  let path =
+    Option.value ~default:"bench/baselines/BENCH_scaling.json" baseline
+  in
+  let tol =
+    match tolerance with
+    | None -> 0.15
+    | Some s -> (
+        match float_of_string_opt s with
+        | Some t when t >= 0. -> t
+        | _ ->
+            Printf.eprintf "--tolerance wants a non-negative float, got %S\n" s;
+            exit 2)
+  in
+  let budget =
+    match budget with
+    | None -> 120.
+    | Some s -> (
+        match float_of_string_opt s with
+        | Some b when b > 0. -> b
+        | _ ->
+            Printf.eprintf "--budget wants a positive float (seconds), got %S\n" s;
+            exit 2)
+  in
+  section
+    (Printf.sprintf
+       "Scaling regression gate: fresh smoke sweep vs %s (tolerance %.0f%%, \
+        budget %.0f s)"
+       path (100. *. tol) budget);
+  let text =
+    try read_all path
+    with Sys_error e ->
+      Printf.eprintf
+        "cannot read baseline: %s\n\
+         (record one with: bench/main.exe -- scaling --smoke --json %s)\n"
+        e path;
+      exit 2
+  in
+  let doc =
+    match J.parse text with
+    | Ok d -> d
+    | Error e ->
+        Printf.eprintf "%s: %s\n" path e;
+        exit 2
+  in
+  (match J.string_at [ "schema" ] doc with
+  | Some s when s = Recorder.schema -> ()
+  | _ ->
+      Printf.eprintf "%s: not a %S document\n" path Recorder.schema;
+      exit 2);
+  let baseline_records =
+    match Option.bind (J.member "records" doc) J.to_list with
+    | Some l ->
+        List.filter_map
+          (fun r ->
+            match (J.string_at [ "target" ] r, J.string_at [ "label" ] r) with
+            | Some "scaling", Some label ->
+                Option.map (fun d -> (label, d)) (J.member "data" r)
+            | _ -> None)
+          l
+    | None -> []
+  in
+  if baseline_records = [] then begin
+    Printf.eprintf "%s: no scaling records to compare against\n" path;
+    exit 2
+  end;
+  let t0 = Unix.gettimeofday () in
+  let fresh = scaling ~smoke:true () in
+  let wall = Unix.gettimeofday () -. t0 in
+  let fresh_tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (label, data) ->
+      match J.parse data with
+      | Ok d -> Hashtbl.replace fresh_tbl label d
+      | Error _ -> ())
+    fresh;
+  (* structural counts are deterministic consequences of the protocol and
+     the scheduler; timing metrics get the user tolerance *)
+  let checks =
+    [
+      ([ "blocks" ], tol);
+      ([ "happy_msgs" ], 0.01);
+      ([ "happy_auths" ], 0.01);
+      ([ "msgs_per_block" ], 0.02);
+      ([ "auths_per_block" ], 0.02);
+      ([ "vc_msgs" ], 0.02);
+      ([ "vc_auths" ], 0.02);
+      ([ "vc_latency" ], tol);
+      ([ "throughput" ], tol);
+      ([ "latency_mean" ], tol);
+      ([ "peak_events" ], 0.10);
+    ]
+  in
+  let checked = ref 0 and failures = ref 0 in
+  Printf.printf "\n";
+  List.iter
+    (fun (label, bdata) ->
+      match Hashtbl.find_opt fresh_tbl label with
+      | None ->
+          incr failures;
+          Printf.printf "  FAIL %-24s missing from the fresh sweep\n" label
+      | Some fdata ->
+          List.iter
+            (fun (fpath, ctol) ->
+              match J.float_at fpath bdata with
+              | None -> ()
+              | Some b -> (
+                  let name = String.concat "." fpath in
+                  match J.float_at fpath fdata with
+                  | None ->
+                      incr failures;
+                      Printf.printf "  FAIL %-24s %-18s missing in fresh run\n"
+                        label name
+                  | Some f ->
+                      incr checked;
+                      let scale = Float.max (Float.abs b) 1e-9 in
+                      if Float.abs (f -. b) > (ctol *. scale) +. 1e-12
+                      then begin
+                        incr failures;
+                        Printf.printf
+                          "  FAIL %-24s %-18s baseline %-12.6g fresh %-12.6g \
+                           (%+.1f%%, tolerance %.1f%%)\n"
+                          label name b f
+                          (100. *. (f -. b) /. scale)
+                          (100. *. ctol)
+                      end))
+            checks)
+    baseline_records;
+  if wall > budget then begin
+    incr failures;
+    Printf.printf
+      "  FAIL wall-time budget: fresh sweep took %.1f s, budget %.1f s (the \
+       scheduler got slower)\n"
+      wall budget
+  end;
+  Printf.printf
+    "scaling-regress: %d records, %d metrics checked, %.1f s of %.0f s \
+     budget, %d violation%s -> %s\n"
+    (List.length baseline_records)
+    !checked wall budget !failures
+    (if !failures = 1 then "" else "s")
+    (if !failures = 0 then "PASS" else "FAIL");
+  !failures
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -897,14 +1208,17 @@ let rec take_opt name = function
 
 let () =
   let full = Array.exists (fun a -> a = "--full") Sys.argv in
+  let smoke_flag = Array.exists (fun a -> a = "--smoke") Sys.argv in
   let args =
-    Array.to_list Sys.argv |> List.tl |> List.filter (fun a -> a <> "--full")
+    Array.to_list Sys.argv |> List.tl
+    |> List.filter (fun a -> a <> "--full" && a <> "--smoke")
   in
   let trace_file, args = take_opt "--trace" args in
   let metrics_file, args = take_opt "--metrics-out" args in
   let json_file, args = take_opt "--json" args in
   let baseline, args = take_opt "--baseline" args in
   let tolerance, args = take_opt "--tolerance" args in
+  let budget, args = take_opt "--budget" args in
   let t0 = Unix.gettimeofday () in
   (* regress reports its violations after the json is flushed *)
   let regress_failures = ref 0 in
@@ -939,14 +1253,22 @@ let () =
         (* the fresh records keep the smoke target so a --json of this
            run can itself serve as a re-blessed baseline *)
         regress_failures := !regress_failures + regress ~baseline ~tolerance ()
+    | "scaling" ->
+        ignore (scaling ~smoke:smoke_flag () : (string * string) list)
+    | "scaling-regress" ->
+        Recorder.set_target "scaling";
+        (* as with regress: a --json of this run is a re-blessed baseline *)
+        regress_failures :=
+          !regress_failures + scaling_regress ~baseline ~tolerance ~budget ()
     | other ->
         Printf.eprintf
           "unknown target %S (try: table1 fig10a..fig10f fig10g fig10h \
            fig10i fig10j related-work faults ablate-sigs ablate-shadow \
-           ablate-batch fig2-demo micro observe smoke spans regress all; \
-           observe takes \
+           ablate-batch fig2-demo micro observe smoke spans regress scaling \
+           scaling-regress all; observe takes \
            --trace FILE and --metrics-out FILE, spans reads --trace FILE, \
-           regress takes --baseline FILE and --tolerance X, any run takes \
+           regress takes --baseline FILE and --tolerance X, scaling takes \
+           --smoke, scaling-regress adds --budget SECONDS, any run takes \
            --json FILE)\n"
           other;
         exit 2

@@ -1,20 +1,31 @@
 let block_size = 64
 
-let mac ~key msg =
-  let key =
-    if String.length key > block_size then Sha256.to_raw (Sha256.string key)
-    else key
+(* A prepared key: the two xor-padded key blocks, built once. Signing with
+   a prepared key skips the per-call pad construction — the dominant
+   allocation when the same key tags many messages (every vote, partial
+   and QC in a run). *)
+type key = { ipad : string; opad : string }
+
+let prepare raw =
+  let raw =
+    if String.length raw > block_size then Sha256.to_raw (Sha256.string raw)
+    else raw
   in
   let pad c =
     String.init block_size (fun i ->
-        let k = if i < String.length key then Char.code key.[i] else 0 in
+        let k = if i < String.length raw then Char.code raw.[i] else 0 in
         Char.chr (k lxor c))
   in
+  { ipad = pad 0x36; opad = pad 0x5c }
+
+let mac_prepared ~key msg =
   let inner = Sha256.Ctx.create () in
-  Sha256.Ctx.feed_string inner (pad 0x36);
+  Sha256.Ctx.feed_string inner key.ipad;
   Sha256.Ctx.feed_string inner msg;
   let inner_digest = Sha256.Ctx.finalize inner in
   let outer = Sha256.Ctx.create () in
-  Sha256.Ctx.feed_string outer (pad 0x5c);
+  Sha256.Ctx.feed_string outer key.opad;
   Sha256.Ctx.feed_string outer (Sha256.to_raw inner_digest);
   Sha256.Ctx.finalize outer
+
+let mac ~key msg = mac_prepared ~key:(prepare key) msg

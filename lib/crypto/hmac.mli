@@ -5,3 +5,12 @@ val mac : key:string -> string -> Sha256.t
 (** [mac ~key msg] is HMAC-SHA256(key, msg). Keys of any length are
     accepted; keys longer than the block size are hashed first, per the
     RFC. *)
+
+type key
+(** A key with its inner/outer pad blocks precomputed. *)
+
+val prepare : string -> key
+(** Derive the pad blocks once; [mac_prepared] with the result equals
+    [mac] with the raw key. *)
+
+val mac_prepared : key:key -> string -> Sha256.t

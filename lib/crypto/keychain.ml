@@ -1,14 +1,24 @@
-type t = { n : int; secrets : string array; system_secret : string }
+type t = {
+  n : int;
+  secrets : string array;
+  system_secret : string;
+  keys : Hmac.key array; (* prepared once; see Hmac.prepare *)
+  system_key : Hmac.key;
+}
 
 let create ?(seed = "marlin-cluster") ~n () =
   if n <= 0 then invalid_arg "Keychain.create: n must be positive";
   let derive label =
     Sha256.to_raw (Sha256.string (Printf.sprintf "%s|%s" seed label))
   in
+  let secrets = Array.init n (fun i -> derive (Printf.sprintf "replica-%d" i)) in
+  let system_secret = derive "system" in
   {
     n;
-    secrets = Array.init n (fun i -> derive (Printf.sprintf "replica-%d" i));
-    system_secret = derive "system";
+    secrets;
+    system_secret;
+    keys = Array.map Hmac.prepare secrets;
+    system_key = Hmac.prepare system_secret;
   }
 
 let n kc = kc.n
@@ -18,3 +28,9 @@ let secret kc i =
   kc.secrets.(i)
 
 let system_secret kc = kc.system_secret
+
+let key kc i =
+  if i < 0 || i >= kc.n then invalid_arg "Keychain.key: replica id out of range";
+  kc.keys.(i)
+
+let system_key kc = kc.system_key

@@ -26,3 +26,11 @@ val secret : t -> int -> string
 val system_secret : t -> string
 (** The cluster-wide key under which combined threshold signatures are
     tagged (stands in for the threshold public key). *)
+
+val key : t -> int -> Hmac.key
+(** Replica [i]'s signing key in prepared form ({!Hmac.prepare}d once at
+    keychain creation) — the form the signature schemes sign and verify
+    with. @raise Invalid_argument if [i] is out of range. *)
+
+val system_key : t -> Hmac.key
+(** {!system_secret} in prepared form. *)

@@ -7,17 +7,18 @@ let size_bytes ~n = 64 + ((n + 7) / 8)
 let share_msg msg = "tshare|" ^ msg
 
 let sign kc ~signer msg =
-  { signer; tag = Hmac.mac ~key:(Keychain.secret kc signer) (share_msg msg) }
+  { signer; tag = Hmac.mac_prepared ~key:(Keychain.key kc signer) (share_msg msg) }
 
 let verify_partial kc msg p =
   p.signer >= 0
   && p.signer < Keychain.n kc
   && Sha256.equal p.tag
-       (Hmac.mac ~key:(Keychain.secret kc p.signer) (share_msg msg))
+       (Hmac.mac_prepared ~key:(Keychain.key kc p.signer) (share_msg msg))
 
 let combined_tag kc msg signers =
   let ids = String.concat "," (List.map string_of_int signers) in
-  Hmac.mac ~key:(Keychain.system_secret kc) (Printf.sprintf "tsig|%s|%s" ids msg)
+  Hmac.mac_prepared ~key:(Keychain.system_key kc)
+    (Printf.sprintf "tsig|%s|%s" ids msg)
 
 let combine kc ~threshold msg partials =
   let valid = List.filter (verify_partial kc msg) partials in

@@ -55,6 +55,7 @@ module Make (P : C.PROTOCOL) = struct
     obs : Marlin_obs.Sink.handle;
     mempool : Mempool.t;
     disk : Sim_disk.t;
+    peers : int array; (* every replica id but this one, ascending *)
     mutable cpu_free : float;
     mutable timer_gen : int;
     mutable crashed : bool;
@@ -160,9 +161,9 @@ module Make (P : C.PROTOCOL) = struct
         match a with
         | C.Send { dst; msg } -> send t ~earliest:finish ~src:r.id ~dst msg
         | C.Broadcast msg ->
-            for dst = 0 to t.params.n - 1 do
-              if dst <> r.id then send t ~earliest:finish ~src:r.id ~dst msg
-            done
+            (* one size computation and one fan-out record for all peers *)
+            Netsim.broadcast t.net ~earliest:finish ~src:r.id ~dsts:r.peers
+              ~size:(message_size t msg) msg
         | C.Timer { duration = d; cause } ->
             r.timer_gen <- r.timer_gen + 1;
             let gen = r.timer_gen in
@@ -346,6 +347,8 @@ module Make (P : C.PROTOCOL) = struct
         obs;
         mempool;
         disk = Sim_disk.create params.disk;
+        peers =
+          Array.init (params.n - 1) (fun i -> if i < id then i else i + 1);
         cpu_free = 0.;
         timer_gen = 0;
         crashed = false;

@@ -8,6 +8,12 @@ let schedule_at t ~time thunk =
 
 let schedule_in t ~delay thunk = schedule_at t ~time:(t.now +. delay) thunk
 
+let schedule_keyed t ~time thunk =
+  Event_queue.push_keyed t.queue ~time:(Float.max time t.now) thunk
+
+let reschedule t ~time ~key thunk =
+  Event_queue.push_at t.queue ~time:(Float.max time t.now) ~seq:key thunk
+
 let step t =
   match Event_queue.pop t.queue with
   | None -> false
@@ -29,3 +35,4 @@ let run ?until t =
       t.now <- Float.max t.now limit
 
 let pending t = Event_queue.length t.queue
+let peak_pending t = Event_queue.max_length t.queue

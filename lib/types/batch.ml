@@ -1,10 +1,13 @@
 type t = {
   ops : Operation.t array;
   mutable cached_digest : Marlin_crypto.Sha256.t option;
+  mutable cached_wire_size : int; (* -1 until computed; ops are immutable *)
 }
 
-let empty = { ops = [||]; cached_digest = None }
-let of_list ops = { ops = Array.of_list ops; cached_digest = None }
+let empty = { ops = [||]; cached_digest = None; cached_wire_size = -1 }
+
+let of_list ops =
+  { ops = Array.of_list ops; cached_digest = None; cached_wire_size = -1 }
 let to_list b = Array.to_list b.ops
 let length b = Array.length b.ops
 let is_empty b = Array.length b.ops = 0
@@ -16,13 +19,20 @@ let encode enc b =
 let decode dec =
   let n = Wire.Dec.varint dec in
   let ops = Array.init n (fun _ -> Operation.decode dec) in
-  { ops; cached_digest = None }
+  { ops; cached_digest = None; cached_wire_size = -1 }
 
 let wire_size b =
-  Array.fold_left
-    (fun acc op -> acc + Operation.wire_size op)
-    (Wire.varint_size (Array.length b.ops))
-    b.ops
+  if b.cached_wire_size >= 0 then b.cached_wire_size
+  else begin
+    let size =
+      Array.fold_left
+        (fun acc op -> acc + Operation.wire_size op)
+        (Wire.varint_size (Array.length b.ops))
+        b.ops
+    in
+    b.cached_wire_size <- size;
+    size
+  end
 
 let digest b =
   match b.cached_digest with

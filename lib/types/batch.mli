@@ -12,6 +12,11 @@ val digest : t -> Marlin_crypto.Sha256.t
 
 val encode : Wire.Enc.t -> t -> unit
 val decode : Wire.Dec.t -> t
+
 val wire_size : t -> int
+(** Size of the canonical encoding in bytes; cached after the first call
+    (batches are immutable), so per-broadcast size accounting stays O(1)
+    in the batch length. *)
+
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

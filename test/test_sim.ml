@@ -91,6 +91,106 @@ let test_event_queue_stress () =
   Alcotest.(check int) "drained all" 1000 !count;
   Alcotest.(check bool) "empty" true (Event_queue.is_empty q)
 
+let test_event_queue_keyed_ties () =
+  (* push_at re-inserts an entry under its original seq: it must sort
+     before entries pushed later at the same time — the property the
+     fan-out records rely on to keep reference delivery order. *)
+  let q = Event_queue.create () in
+  let key_a = Event_queue.push_keyed q ~time:1.0 "a" in
+  (match Event_queue.pop q with
+  | Some (_, "a") -> ()
+  | _ -> Alcotest.fail "expected a");
+  Event_queue.push q ~time:2.0 "later";
+  (* re-insert "a2" under a's old seq, at the same time as "later" *)
+  Event_queue.push_at q ~time:2.0 ~seq:key_a "a2";
+  Alcotest.(check (option (float 1e-9))) "peek" (Some 2.0)
+    (Event_queue.peek_time q);
+  let order = ref [] in
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some (_, v) ->
+        order := v :: !order;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list string)) "old seq wins the tie" [ "a2"; "later" ]
+    (List.rev !order)
+
+(* Naive reference model: a sorted association list keyed by (time, seq). *)
+module Naive = struct
+  type 'a t = { mutable entries : (float * int * 'a) list; mutable next : int }
+
+  let create () = { entries = []; next = 0 }
+
+  let push t ~time v =
+    let seq = t.next in
+    t.next <- seq + 1;
+    let rec ins = function
+      | [] -> [ (time, seq, v) ]
+      | (t', s', _) :: _ as rest when time < t' || (time = t' && seq < s') ->
+          (time, seq, v) :: rest
+      | e :: rest -> e :: ins rest
+    in
+    t.entries <- ins t.entries
+
+  let pop t =
+    match t.entries with
+    | [] -> None
+    | (time, _, v) :: rest ->
+        t.entries <- rest;
+        Some (time, v)
+
+  let peek_time t =
+    match t.entries with [] -> None | (time, _, _) :: _ -> Some time
+end
+
+let queue_model_test =
+  (* Drive the calendar queue and the naive model with the same random
+     op sequence and require identical observable behaviour. Times are
+     quantised (i/8) to force (time, seq) ties, mixed with occasional
+     huge values to force cross-bucket rollover and resizes, and pops
+     interleave with pushes so the cursor must rewind for entries pushed
+     into already-visited epochs. *)
+  let open QCheck in
+  let op_gen =
+    Gen.(
+      frequency
+        [
+          (6, map (fun i -> `Push (float_of_int i /. 8.)) (int_bound 400));
+          (1, map (fun i -> `Push (1e6 +. (float_of_int i *. 64.))) (int_bound 50));
+          (4, return `Pop);
+          (1, return `Peek);
+        ])
+  in
+  Test.make ~count:200 ~name:"calendar queue == naive sorted list"
+    (make
+       ~print:(fun l -> string_of_int (List.length l) ^ " ops")
+       (Gen.list_size Gen.(10 -- 200) op_gen))
+    (fun ops ->
+      let q = Event_queue.create () in
+      let m = Naive.create () in
+      List.for_all
+        (fun op ->
+          match op with
+          | `Push time ->
+              let v = Naive.(m.next) in
+              Naive.push m ~time v;
+              Event_queue.push q ~time v;
+              true
+          | `Pop -> Event_queue.pop q = Naive.pop m
+          | `Peek ->
+              Event_queue.peek_time q = Naive.peek_time m
+              && Event_queue.length q = List.length Naive.(m.entries))
+        ops
+      &&
+      (* full drain must agree too *)
+      let rec drain () =
+        let a = Event_queue.pop q and b = Naive.pop m in
+        a = b && (a = None || drain ())
+      in
+      drain ())
+
 (* ---------- sim clock ---------- *)
 
 let test_sim_run_order () =
@@ -230,7 +330,8 @@ let test_net_link_filter () =
 let test_net_pre_gst_delay () =
   let config =
     {
-      Netsim.latency = 0.01;
+      Netsim.default_config with
+      latency = 0.01;
       jitter = 0.;
       bandwidth_bps = infinity;
       gst = 1.0;
@@ -266,6 +367,96 @@ let test_net_stats () =
   Alcotest.(check int) "meter saw bytes" 150 !metered;
   Netsim.reset_stats net;
   Alcotest.(check int) "reset" 0 (Netsim.stats net).Netsim.messages
+
+(* ---------- broadcast fan-out ---------- *)
+
+let crisp_config =
+  { Netsim.default_config with latency = 0.04; jitter = 0.; bandwidth_bps = infinity }
+
+(* Run one broadcast under both scheduler paths and return the delivery
+   sequence [(dst, src, time)] of each. *)
+let broadcast_deliveries ?(config = crisp_config) ?(endpoints = 8)
+    ?(prep = fun _ -> ()) ~dsts () =
+  let run fanout =
+    let config = { config with Netsim.fanout_broadcast = fanout } in
+    let sim = Sim.create () in
+    let net = Netsim.create sim (Rng.create ~seed:11) config ~endpoints in
+    let log = ref [] in
+    for id = 0 to endpoints - 1 do
+      Netsim.register net ~id (fun ~src _ -> log := (id, src, Sim.now sim) :: !log)
+    done;
+    prep net;
+    Netsim.broadcast net ~src:0 ~dsts ~size:100 (noop_msg 0);
+    Sim.run sim;
+    (List.rev !log, Netsim.stats net)
+  in
+  (run false, run true)
+
+let test_broadcast_matches_sends () =
+  let dsts = [| 3; 1; 5; 2 |] in
+  let (ref_log, ref_stats), (fan_log, fan_stats) = broadcast_deliveries ~dsts () in
+  Alcotest.(check int) "four deliveries" 4 (List.length fan_log);
+  Alcotest.(check bool) "same delivery sequence" true (ref_log = fan_log);
+  Alcotest.(check bool) "same stats" true (ref_stats = fan_stats);
+  (* with zero jitter, simultaneous arrivals deliver in dsts order *)
+  Alcotest.(check (list int)) "dsts order on simultaneous arrival"
+    [ 3; 1; 5; 2 ]
+    (List.map (fun (d, _, _) -> d) fan_log)
+
+let test_broadcast_self_delivery () =
+  (* src appearing in its own dsts: the self copy is delivered with zero
+     delay (same instant, before any network arrival), on both paths. *)
+  let dsts = [| 1; 0; 2 |] in
+  let (ref_log, _), (fan_log, _) = broadcast_deliveries ~dsts () in
+  Alcotest.(check bool) "same with self in dsts" true (ref_log = fan_log);
+  (match fan_log with
+  | (0, 0, t) :: rest ->
+      Alcotest.(check (float 1e-9)) "self delivery immediate" 0. t;
+      Alcotest.(check (list int)) "network copies follow" [ 1; 2 ]
+        (List.map (fun (d, _, _) -> d) rest)
+  | _ -> Alcotest.fail "self delivery must come first")
+
+let test_broadcast_duplicates () =
+  (* A duplicating network exercises the fan-out records' off-trace
+     duplicate scheduling: delivery times and stats must still match the
+     reference path, and stats count logical sends, not duplicates. *)
+  let prep net = Netsim.Fault.duplicate net ~p:0.99 in
+  let dsts = [| 1; 2; 3 |] in
+  let (ref_log, ref_stats), (fan_log, fan_stats) =
+    broadcast_deliveries ~prep ~dsts ()
+  in
+  Alcotest.(check bool) "duplicates delivered" true (List.length fan_log > 3);
+  Alcotest.(check bool) "same deliveries under duplication" true
+    (ref_log = fan_log);
+  Alcotest.(check bool) "same stats" true (ref_stats = fan_stats);
+  Alcotest.(check int) "stats count logical sends, not duplicates" 3
+    fan_stats.Netsim.messages
+
+let test_broadcast_occupancy () =
+  (* The tentpole property: a pending broadcast to k recipients occupies
+     one event-queue slot, not k. *)
+  let endpoints = 64 in
+  let dsts = Array.init (endpoints - 1) (fun i -> i + 1) in
+  let occupancy fanout =
+    let config = { crisp_config with Netsim.fanout_broadcast = fanout } in
+    let sim = Sim.create () in
+    let net = Netsim.create sim (Rng.create ~seed:11) config ~endpoints in
+    for id = 0 to endpoints - 1 do
+      Netsim.register net ~id (fun ~src:_ _ -> ())
+    done;
+    Netsim.broadcast net ~src:0 ~dsts ~size:100 (noop_msg 0);
+    let pending = Sim.pending sim in
+    Sim.run sim;
+    (pending, Sim.peak_pending sim)
+  in
+  let ref_pending, ref_peak = occupancy false in
+  let fan_pending, fan_peak = occupancy true in
+  Alcotest.(check int) "reference: one event per recipient" 63 ref_pending;
+  Alcotest.(check int) "fan-out: one event total" 1 fan_pending;
+  Alcotest.(check bool)
+    (Printf.sprintf "fan-out peak %d well below reference %d" fan_peak ref_peak)
+    true
+    (fan_peak <= 2 && ref_peak >= 63)
 
 let qcheck_cases =
   let open QCheck in
@@ -309,6 +500,7 @@ let suite =
     ("rng exponential mean", `Quick, test_rng_exponential_mean);
     ("event queue ordering", `Quick, test_event_queue_ordering);
     ("event queue stress", `Quick, test_event_queue_stress);
+    ("event queue keyed ties", `Quick, test_event_queue_keyed_ties);
     ("sim run order", `Quick, test_sim_run_order);
     ("sim run until", `Quick, test_sim_run_until);
     ("sim clamps past events", `Quick, test_sim_past_events_clamp);
@@ -320,7 +512,11 @@ let suite =
     ("net link filter", `Quick, test_net_link_filter);
     ("net pre-GST delay", `Quick, test_net_pre_gst_delay);
     ("net stats & metering", `Quick, test_net_stats);
+    ("broadcast fan-out matches per-dst sends", `Quick, test_broadcast_matches_sends);
+    ("broadcast zero-delay self delivery", `Quick, test_broadcast_self_delivery);
+    ("broadcast under duplication", `Quick, test_broadcast_duplicates);
+    ("broadcast O(1) queue occupancy", `Quick, test_broadcast_occupancy);
   ]
-  @ List.map QCheck_alcotest.to_alcotest qcheck_cases
+  @ List.map QCheck_alcotest.to_alcotest (queue_model_test :: qcheck_cases)
 
 let () = Alcotest.run "sim" [ ("sim", suite) ]

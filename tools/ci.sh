@@ -9,8 +9,15 @@
 # so the gate also covers recovery latency and view-change
 # message/authenticator counts from the marlin_faults subsystem.
 #
+# The scaling gate (`dune build @bench-scaling`) sweeps every registry
+# protocol over n up to 64 and diffs message/authenticator counts, peak
+# event-queue occupancy and wall time against its own baseline, so a
+# broadcast fan-out or calendar-queue regression fails CI even when the
+# small-n smoke numbers are unchanged.
+#
 # To re-bless the baselines after an intentional performance change:
 #   dune exec bench/main.exe -- smoke --json bench/baselines/BENCH_smoke.json
+#   dune exec bench/main.exe -- scaling --smoke --json bench/baselines/BENCH_scaling.json
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -18,5 +25,6 @@ dune build
 dune runtest
 dune build @lint
 dune build @bench-smoke
+dune build @bench-scaling
 
-echo "ci: build + tests + lint + bench-smoke regression gate all green"
+echo "ci: build + tests + lint + bench-smoke + bench-scaling gates all green"
