@@ -13,9 +13,12 @@
 
 module C = Marlin_core.Consensus_intf
 module Cluster = Marlin_runtime.Cluster
+module Mempool = Marlin_runtime.Mempool
 module Experiment = Marlin_runtime.Experiment
 module Stats = Marlin_analysis.Stats
 module Complexity = Marlin_analysis.Complexity
+module Workload = Marlin_workload.Workload
+module Arrival = Marlin_workload.Arrival
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable output: --json FILE                                *)
@@ -45,7 +48,14 @@ module Recorder = struct
 
   let add ~label data = records := (!target, label, data) :: !records
 
+  (* Targets whose --json output must be bit-identical across repeated
+     runs (the load baseline) set this; the envelope then reports a fixed
+     wall_seconds instead of the measured one — the only field of the
+     document that is not a deterministic function of the seed. *)
+  let fixed_wall = ref false
+
   let write ~path ~wall_seconds =
+    let wall_seconds = if !fixed_wall then 0.0 else wall_seconds in
     let oc = open_out path in
     Printf.fprintf oc {|{"schema":"%s","wall_seconds":%.1f,"records":[|}
       schema wall_seconds;
@@ -79,7 +89,7 @@ let bench_params ?(clients = 16) f =
      thrash. *)
   let base_timeout = 1.0 +. (float_of_int n *. 0.04) in
   {
-    (Cluster.params_for_f ~clients f) with
+    (Cluster.params_for_f ~workload:(Workload.closed_loop ~clients) f) with
     Cluster.batch_max = 2000;
     base_timeout;
     max_timeout = 8. *. base_timeout;
@@ -172,8 +182,7 @@ let tput_latency_figure ~full ~fig f =
   List.iter
     (fun clients ->
       let run proto =
-        Experiment.run_throughput proto
-          ~params:{ (bench_params f) with Cluster.clients }
+        Experiment.run_throughput proto ~params:(bench_params ~clients f)
           ~warmup ~duration
       in
       let m = run marlin and h = run hotstuff in
@@ -409,9 +418,16 @@ let ablate_sigs ~full () =
       List.iter
         (fun (pname, proto, basic) ->
           let params = { (bench_params f) with Cluster.cost_model = cost } in
-          let peak =
+          let peak, cap =
             Experiment.peak ~latency_cap:1.0 (sweep_for ~full proto ~params f)
           in
+          (match cap with
+          | `Within_cap -> ()
+          | `Fallback ->
+              Printf.printf
+                "!! %s/%s: no sweep point under the 1 s cap; peak below is \
+                 saturated, not sustainable\n"
+                name pname);
           let vc = Experiment.run_view_change basic ~params ~force_unhappy:false in
           Printf.printf "%-12s %-14s | %12.2f %8.0f | %14.0f
 " name pname
@@ -666,8 +682,7 @@ let smoke () =
   List.iter
     (fun (label, proto) ->
       let r =
-        Experiment.run_throughput proto
-          ~params:{ (bench_params 1) with Cluster.clients = 512 }
+        Experiment.run_throughput proto ~params:(bench_params ~clients:512 1)
           ~warmup:1.0 ~duration:3.0
       in
       Printf.printf "%s loaded point: %.0f op/s, agreement %B\n" label
@@ -911,7 +926,7 @@ let scaling_params ~smoke n =
     Cluster.default_params with
     Cluster.n;
     f;
-    clients = (if smoke then 8 else 16);
+    workload = Workload.closed_loop ~clients:(if smoke then 8 else 16);
     batch_max = 400;
     base_timeout;
     max_timeout = 8. *. base_timeout;
@@ -996,7 +1011,9 @@ let scaling ~smoke () =
           let data =
             Printf.sprintf
               {|{"n":%d,"f":%d,"clients":%d,"throughput":%.2f,"latency_mean":%.6f,"blocks":%d,"happy_msgs":%d,"happy_auths":%d,"happy_bytes":%d,"msgs_per_block":%.4f,"auths_per_block":%.4f,"vc_latency":%.6f,"vc_msgs":%d,"vc_auths":%d,"vc_bytes":%d,"peak_events":%d,"agreement":%b,"wall_seconds":%.3f}|}
-              n params.Cluster.f params.Cluster.clients throughput
+              n params.Cluster.f
+              (Workload.closed_clients params.Cluster.workload)
+              throughput
               latency.Stats.mean blocks !msgs !auths !bytes (per_block !msgs)
               (per_block !auths) vc_latency vc.Experiment.vc_messages
               vc.Experiment.vc_authenticators vc.Experiment.vc_bytes
@@ -1192,6 +1209,252 @@ let scaling_regress ~baseline ~tolerance ~budget () =
   !failures
 
 (* ------------------------------------------------------------------ *)
+(* Load: open-loop offered-load sweeps over the bounded mempool        *)
+(* ------------------------------------------------------------------ *)
+
+(* The open-loop counterpart of the fig10 sweeps: Poisson arrivals from a
+   million-key client space against bounded, admission-controlled
+   mempools. Goodput tracks the offered rate up to the knee — the max
+   sustainable throughput at p99 <= 1 s — and flattens past it, where
+   backpressure shedding and ingress rejections turn the drop rate
+   non-zero. Everything measured is simulated and therefore deterministic;
+   --json output is byte-identical across repeated runs (the envelope's
+   wall_seconds, the one wall-clock field, is pinned to 0 by
+   [Recorder.fixed_wall]). *)
+
+let load_ns = [ 4; 32 ]
+
+let load_rates ~smoke n =
+  (* larger clusters saturate earlier: the leader serializes n copies of
+     every block, so halve the sweep for n = 32 *)
+  let scale = if n >= 32 then 0.5 else 1.0 in
+  let base =
+    if smoke then [ 4_000.; 16_000.; 48_000. ]
+    else [ 2_000.; 4_000.; 8_000.; 16_000.; 24_000.; 32_000.; 48_000. ]
+  in
+  List.map (fun r -> r *. scale) base
+
+let load_params ~smoke n =
+  let f = max 1 ((n - 1) / 3) in
+  let base_timeout = 1.0 +. (float_of_int n *. 0.04) in
+  {
+    Cluster.default_params with
+    Cluster.n;
+    f;
+    workload =
+      Workload.open_loop
+        ~arrival:(Arrival.poisson ~rate:1_000.) (* re-targeted per point *)
+        ~key_space:1_000_000
+        ~sources:(if smoke then 4 else 8) ();
+    mempool = Mempool.Config.make ~capacity:8_000 ~per_client_cap:4 ();
+    batch_max = 2000;
+    base_timeout;
+    max_timeout = 8. *. base_timeout;
+  }
+
+let load ~smoke () =
+  let warmup = 1.0 and duration = if smoke then 4.0 else 10.0 in
+  section
+    (Printf.sprintf
+       "Load: open-loop goodput vs offered load (Poisson, 1M keys, mempool \
+        cap 8000%s)"
+       (if smoke then "; smoke" else ""));
+  let recs = ref [] in
+  let put label data =
+    recs := (label, data) :: !recs;
+    Recorder.add ~label data
+  in
+  List.iter
+    (fun (name, proto) ->
+      List.iter
+        (fun n ->
+          let params = load_params ~smoke n in
+          Printf.printf "\n%s n=%d (%s)\n" name n
+            (Workload.label params.Cluster.workload);
+          Printf.printf "%10s | %10s %8s %8s %9s | %8s %6s\n" "offered"
+            "goodput" "drop %" "p99 ms" "p999 ms" "peak occ" "agree";
+          let points =
+            Experiment.open_loop_sweep proto ~params ~warmup ~duration
+              ~rates:(load_rates ~smoke n)
+          in
+          List.iter
+            (fun (r : Experiment.open_loop_result) ->
+              Printf.printf "%10.0f | %10.1f %8.2f %8.0f %9.0f | %8d %6B\n"
+                r.Experiment.offered r.Experiment.goodput
+                (100. *. r.Experiment.drop_rate)
+                (r.Experiment.latency.Stats.p99 *. 1000.)
+                (r.Experiment.latency.Stats.p999 *. 1000.)
+                r.Experiment.peak_occupancy r.Experiment.agreement;
+              if not r.Experiment.agreement then
+                Printf.printf "!! agreement violated\n";
+              put
+                (Printf.sprintf "%s n=%d rate=%.0f" name n r.Experiment.offered)
+                (Experiment.Result.open_loop_to_json r))
+            points;
+          let k, cap = Experiment.knee points in
+          Printf.printf
+            "knee: %.0f op/s sustainable at offered %.0f (p99 %.0f ms)%s\n"
+            k.Experiment.goodput k.Experiment.offered
+            (k.Experiment.latency.Stats.p99 *. 1000.)
+            (match cap with
+            | `Within_cap -> ""
+            | `Fallback -> "  !! every point blew the 1 s cap");
+          put
+            (Printf.sprintf "%s n=%d knee" name n)
+            (Printf.sprintf {|{"sustainable":%b,"point":%s}|}
+               (cap = `Within_cap)
+               (Experiment.Result.open_loop_to_json k)))
+        load_ns)
+    [ ("marlin", marlin); ("hotstuff", hotstuff) ];
+  List.rev !recs
+
+(* Regression gate over the committed load baseline, scaling-regress
+   style: a fresh smoke-size sweep; deterministic inputs and counts get
+   tight tolerances, timing the user tolerance, plus a wall budget so a
+   generator or admission-path slowdown fails loudly. *)
+let load_regress ~baseline ~tolerance ~budget () =
+  let module J = Obs.Json_lite in
+  let path = Option.value ~default:"bench/baselines/BENCH_load.json" baseline in
+  let tol =
+    match tolerance with
+    | None -> 0.15
+    | Some s -> (
+        match float_of_string_opt s with
+        | Some t when t >= 0. -> t
+        | _ ->
+            Printf.eprintf "--tolerance wants a non-negative float, got %S\n" s;
+            exit 2)
+  in
+  let budget =
+    match budget with
+    | None -> 120.
+    | Some s -> (
+        match float_of_string_opt s with
+        | Some b when b > 0. -> b
+        | _ ->
+            Printf.eprintf "--budget wants a positive float (seconds), got %S\n" s;
+            exit 2)
+  in
+  section
+    (Printf.sprintf
+       "Load regression gate: fresh smoke sweep vs %s (tolerance %.0f%%, \
+        budget %.0f s)"
+       path (100. *. tol) budget);
+  let text =
+    try read_all path
+    with Sys_error e ->
+      Printf.eprintf
+        "cannot read baseline: %s\n\
+         (record one with: bench/main.exe -- load --smoke --json %s)\n"
+        e path;
+      exit 2
+  in
+  let doc =
+    match J.parse text with
+    | Ok d -> d
+    | Error e ->
+        Printf.eprintf "%s: %s\n" path e;
+        exit 2
+  in
+  (match J.string_at [ "schema" ] doc with
+  | Some s when s = Recorder.schema -> ()
+  | _ ->
+      Printf.eprintf "%s: not a %S document\n" path Recorder.schema;
+      exit 2);
+  let baseline_records =
+    match Option.bind (J.member "records" doc) J.to_list with
+    | Some l ->
+        List.filter_map
+          (fun r ->
+            match (J.string_at [ "target" ] r, J.string_at [ "label" ] r) with
+            | Some "load", Some label ->
+                Option.map (fun d -> (label, d)) (J.member "data" r)
+            | _ -> None)
+          l
+    | None -> []
+  in
+  if baseline_records = [] then begin
+    Printf.eprintf "%s: no load records to compare against\n" path;
+    exit 2
+  end;
+  let t0 = Unix.gettimeofday () in
+  let fresh = load ~smoke:true () in
+  let wall = Unix.gettimeofday () -. t0 in
+  let fresh_tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (label, data) ->
+      match J.parse data with
+      | Ok d -> Hashtbl.replace fresh_tbl label d
+      | Error _ -> ())
+    fresh;
+  (* the offered rate is an input and the arrival counts are deterministic
+     consequences of the seed; goodput/latency are timing *)
+  let checks =
+    [
+      ([ "offered" ], 1e-6);
+      ([ "generated" ], 0.01);
+      ([ "goodput" ], tol);
+      ([ "drop_rate" ], 0.02);
+      ([ "latency"; "p99" ], tol);
+      ([ "peak_occupancy" ], 0.10);
+      (* knee records nest the point *)
+      ([ "point"; "offered" ], 1e-6);
+      ([ "point"; "goodput" ], tol);
+      ([ "point"; "latency"; "p99" ], tol);
+    ]
+  in
+  let checked = ref 0 and failures = ref 0 in
+  Printf.printf "\n";
+  List.iter
+    (fun (label, bdata) ->
+      match Hashtbl.find_opt fresh_tbl label with
+      | None ->
+          incr failures;
+          Printf.printf "  FAIL %-28s missing from the fresh sweep\n" label
+      | Some fdata ->
+          List.iter
+            (fun (fpath, ctol) ->
+              match J.float_at fpath bdata with
+              | None -> ()
+              | Some b -> (
+                  let name = String.concat "." fpath in
+                  match J.float_at fpath fdata with
+                  | None ->
+                      incr failures;
+                      Printf.printf "  FAIL %-28s %-18s missing in fresh run\n"
+                        label name
+                  | Some f ->
+                      incr checked;
+                      let scale = Float.max (Float.abs b) 1e-9 in
+                      if Float.abs (f -. b) > (ctol *. scale) +. 1e-12
+                      then begin
+                        incr failures;
+                        Printf.printf
+                          "  FAIL %-28s %-18s baseline %-12.6g fresh %-12.6g \
+                           (%+.1f%%, tolerance %.1f%%)\n"
+                          label name b f
+                          (100. *. (f -. b) /. scale)
+                          (100. *. ctol)
+                      end))
+            checks)
+    baseline_records;
+  if wall > budget then begin
+    incr failures;
+    Printf.printf
+      "  FAIL wall-time budget: fresh sweep took %.1f s, budget %.1f s (the \
+       open-loop path got slower)\n"
+      wall budget
+  end;
+  Printf.printf
+    "load-regress: %d records, %d metrics checked, %.1f s of %.0f s budget, \
+     %d violation%s -> %s\n"
+    (List.length baseline_records)
+    !checked wall budget !failures
+    (if !failures = 1 then "" else "s")
+    (if !failures = 0 then "PASS" else "FAIL");
+  !failures
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1260,16 +1523,25 @@ let () =
         (* as with regress: a --json of this run is a re-blessed baseline *)
         regress_failures :=
           !regress_failures + scaling_regress ~baseline ~tolerance ~budget ()
+    | "load" ->
+        Recorder.fixed_wall := true;
+        ignore (load ~smoke:smoke_flag () : (string * string) list)
+    | "load-regress" ->
+        Recorder.set_target "load";
+        Recorder.fixed_wall := true;
+        (* as with regress: a --json of this run is a re-blessed baseline *)
+        regress_failures :=
+          !regress_failures + load_regress ~baseline ~tolerance ~budget ()
     | other ->
         Printf.eprintf
           "unknown target %S (try: table1 fig10a..fig10f fig10g fig10h \
            fig10i fig10j related-work faults ablate-sigs ablate-shadow \
            ablate-batch fig2-demo micro observe smoke spans regress scaling \
-           scaling-regress all; observe takes \
+           scaling-regress load load-regress all; observe takes \
            --trace FILE and --metrics-out FILE, spans reads --trace FILE, \
-           regress takes --baseline FILE and --tolerance X, scaling takes \
-           --smoke, scaling-regress adds --budget SECONDS, any run takes \
-           --json FILE)\n"
+           regress takes --baseline FILE and --tolerance X, scaling and \
+           load take --smoke, scaling-regress and load-regress add \
+           --budget SECONDS, any run takes --json FILE)\n"
           other;
         exit 2
   in

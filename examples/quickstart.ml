@@ -13,9 +13,10 @@ module Cl = Cluster.Make (P)
 module Stats = Marlin_analysis.Stats
 
 let () =
-  let params = { (Cluster.params_for_f ~clients:64 1) with Cluster.seed = 42 } in
+  let params = { (Cluster.params_for_f ~workload:(Marlin_workload.Workload.closed_loop ~clients:64) 1) with Cluster.seed = 42 } in
   Printf.printf "Starting %d replicas (f = %d) with %d closed-loop clients...\n"
-    params.Cluster.n params.Cluster.f params.Cluster.clients;
+    params.Cluster.n params.Cluster.f
+    (Marlin_workload.Workload.closed_clients params.Cluster.workload);
 
   let cluster = Cl.create params in
   Cl.run cluster ~until:5.0;

@@ -16,7 +16,7 @@ module Sim = Marlin_sim.Sim
 module Netsim = Marlin_sim.Netsim
 
 let () =
-  let params = { (Cluster.params_for_f ~clients:16 1) with Cluster.seed = 9 } in
+  let params = { (Cluster.params_for_f ~workload:(Marlin_workload.Workload.closed_loop ~clients:16) 1) with Cluster.seed = 9 } in
   let cluster = Cl.create params in
   let sim = Cl.sim cluster in
   let net = Cl.net cluster in

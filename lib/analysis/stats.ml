@@ -37,16 +37,27 @@ type summary = {
   p50 : float;
   p95 : float;
   p99 : float;
+  p999 : float;
   min : float;
   max : float;
 }
 
 let empty_summary =
-  { count = 0; mean = 0.; p50 = 0.; p95 = 0.; p99 = 0.; min = 0.; max = 0. }
+  {
+    count = 0;
+    mean = 0.;
+    p50 = 0.;
+    p95 = 0.;
+    p99 = 0.;
+    p999 = 0.;
+    min = 0.;
+    max = 0.;
+  }
 
 let summarize = function
   | [] -> empty_summary
-  | [ x ] -> { count = 1; mean = x; p50 = x; p95 = x; p99 = x; min = x; max = x }
+  | [ x ] ->
+      { count = 1; mean = x; p50 = x; p95 = x; p99 = x; p999 = x; min = x; max = x }
   | xs ->
       {
         count = List.length xs;
@@ -54,13 +65,15 @@ let summarize = function
         p50 = median xs;
         p95 = percentile xs ~p:95.;
         p99 = percentile xs ~p:99.;
+        p999 = percentile xs ~p:99.9;
         min = minimum xs;
         max = maximum xs;
       }
 
 let pp_summary fmt s =
-  Format.fprintf fmt "n=%d mean=%.4f p50=%.4f p95=%.4f p99=%.4f min=%.4f max=%.4f"
-    s.count s.mean s.p50 s.p95 s.p99 s.min s.max
+  Format.fprintf fmt
+    "n=%d mean=%.4f p50=%.4f p95=%.4f p99=%.4f p999=%.4f min=%.4f max=%.4f"
+    s.count s.mean s.p50 s.p95 s.p99 s.p999 s.min s.max
 
 module Reservoir = struct
   type t = {
@@ -137,6 +150,7 @@ module Reservoir = struct
         p50 = sorted.(rank_of ~n 50.);
         p95 = sorted.(rank_of ~n 95.);
         p99 = sorted.(rank_of ~n 99.);
+        p999 = sorted.(rank_of ~n 99.9);
         (* min/max are exact over the whole stream, not just the kept set *)
         min = t.min;
         max = t.max;

@@ -19,6 +19,7 @@ type summary = {
   p50 : float;
   p95 : float;
   p99 : float;
+  p999 : float;  (** tail percentile for open-loop overload studies *)
   min : float;
   max : float;
 }

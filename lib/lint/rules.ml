@@ -428,7 +428,49 @@ let rec toplevel_state =
             !diags);
   }
 
-(* ---------- rule 7: missing-mli ---------- *)
+(* ---------- rule 7: workload-rng ---------- *)
+
+(* Arrival samplers are the one place where a stray ambient draw would
+   silently decorrelate every offered-load curve from its seed, so the
+   whole stdlib Random module — the seedable Random.State API included —
+   is off limits here: lib/workload draws only from Marlin_sim.Rng
+   streams passed in by the caller. *)
+let is_stdlib_random lid =
+  match flatten lid with
+  | "Random" :: _ :: _ | "Stdlib" :: "Random" :: _ :: _ -> true
+  | [ "Random" ] | [ "Stdlib"; "Random" ] -> true
+  | _ -> false
+
+let rec workload_rng =
+  {
+    name = "workload-rng";
+    severity = Diagnostic.Error;
+    doc =
+      "lib/workload draws randomness only from seeded Marlin_sim.Rng \
+       streams handed in by the caller; any stdlib Random use (including \
+       Random.State) is ambient relative to the simulation seed";
+    applies = (fun rel -> under "lib/workload" rel);
+    check =
+      (fun _project file ->
+        match file.ast with
+        | Intf _ | Broken _ -> []
+        | Impl str ->
+            let diags = ref [] in
+            iter_expressions str ~on_expr:(fun e ~recurse ->
+                (match e.pexp_desc with
+                | Pexp_ident { txt; loc } when is_stdlib_random txt ->
+                    diags :=
+                      mk workload_rng file loc
+                        (dotted txt
+                       ^ " in lib/workload: sample from the Marlin_sim.Rng \
+                          stream the caller supplies (split per source)")
+                      :: !diags
+                | _ -> ());
+                recurse ());
+            !diags);
+  }
+
+(* ---------- rule 8: missing-mli ---------- *)
 
 let rec missing_mli =
   {
@@ -467,6 +509,7 @@ let all =
     float_equality;
     deprecated_alias;
     toplevel_state;
+    workload_rng;
     missing_mli;
   ]
 

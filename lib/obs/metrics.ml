@@ -14,6 +14,11 @@ type t = {
   mutable ops_committed : int;
   mutable view_changes : int;
   mutable timer_fires : int;
+  mutable ops_admitted : int;
+  mutable ops_duplicate : int;
+  mutable ops_rejected_full : int;
+  mutable ops_rejected_client_cap : int;
+  mutable mempool_peak : int;
   first_seen : (int, float) Hashtbl.t;  (* height -> first proposal sighting *)
   commit_samples : Stats.Reservoir.t;
   mutable vc_open : float option;
@@ -30,6 +35,11 @@ let create ~replica =
     ops_committed = 0;
     view_changes = 0;
     timer_fires = 0;
+    ops_admitted = 0;
+    ops_duplicate = 0;
+    ops_rejected_full = 0;
+    ops_rejected_client_cap = 0;
+    mempool_peak = 0;
     first_seen = Hashtbl.create 64;
     (* bounded: a --full run commits millions of blocks; the reservoir
        keeps memory flat while the percentiles stay representative *)
@@ -143,12 +153,26 @@ let note_view_change_exit t ~time =
 
 let note_timer_fired t = t.timer_fires <- t.timer_fires + 1
 
+let note_admission t result ~occupancy =
+  (match result with
+  | `Admitted -> t.ops_admitted <- t.ops_admitted + 1
+  | `Duplicate -> t.ops_duplicate <- t.ops_duplicate + 1
+  | `Rejected_full -> t.ops_rejected_full <- t.ops_rejected_full + 1
+  | `Rejected_client_cap ->
+      t.ops_rejected_client_cap <- t.ops_rejected_client_cap + 1);
+  if occupancy > t.mempool_peak then t.mempool_peak <- occupancy
+
 let proposals t = t.proposals
 let qcs t = t.qcs
 let blocks_committed t = t.blocks_committed
 let ops_committed t = t.ops_committed
 let view_changes t = t.view_changes
 let timer_fires t = t.timer_fires
+let ops_admitted t = t.ops_admitted
+let ops_duplicate t = t.ops_duplicate
+let ops_rejected_full t = t.ops_rejected_full
+let ops_rejected_client_cap t = t.ops_rejected_client_cap
+let mempool_peak_occupancy t = t.mempool_peak
 
 let commit_latency t = Stats.Reservoir.summarize t.commit_samples
 let vc_latency t = Stats.Reservoir.summarize t.vc_samples

@@ -61,12 +61,27 @@ val note_view_change_enter : t -> time:float -> unit
 val note_view_change_exit : t -> time:float -> unit
 val note_timer_fired : t -> unit
 
+val note_admission :
+  t ->
+  [ `Admitted | `Duplicate | `Rejected_full | `Rejected_client_cap ] ->
+  occupancy:int ->
+  unit
+(** One mempool admission decision at this replica; [occupancy] (measured
+    after the decision) feeds the high-water mark. *)
+
 val proposals : t -> int
 val qcs : t -> int
 val blocks_committed : t -> int
 val ops_committed : t -> int
 val view_changes : t -> int
 val timer_fires : t -> int
+val ops_admitted : t -> int
+val ops_duplicate : t -> int
+val ops_rejected_full : t -> int
+val ops_rejected_client_cap : t -> int
+
+val mempool_peak_occupancy : t -> int
+(** Highest mempool occupancy observed at an admission. *)
 
 (* -- histograms -- *)
 

@@ -59,22 +59,22 @@ let write_trace ?run oc t =
   match t.trace with None -> () | Some b -> Trace.write_jsonl ?run oc b
 
 let metrics_csv_header =
-  "label,replica,row,name,msgs,bytes,auths,count,mean,p50,p95,p99,min,max"
+  "label,replica,row,name,msgs,bytes,auths,count,mean,p50,p95,p99,p999,min,max"
 
 let csv_counter_row buf ~label ~replica ~row ~name (c : Metrics.dir_counter) =
   Buffer.add_string buf
-    (Printf.sprintf "%s,%d,%s,%s,%d,%d,%d,,,,,,,\n" label replica row name
+    (Printf.sprintf "%s,%d,%s,%s,%d,%d,%d,,,,,,,,\n" label replica row name
        c.Metrics.msgs c.Metrics.bytes c.Metrics.auths)
 
 let csv_event_row buf ~label ~replica ~name value =
   Buffer.add_string buf
-    (Printf.sprintf "%s,%d,counter,%s,%d,,,,,,,,,\n" label replica name value)
+    (Printf.sprintf "%s,%d,counter,%s,%d,,,,,,,,,,\n" label replica name value)
 
 let csv_hist_row buf ~label ~replica ~name (s : Stats.summary) =
   Buffer.add_string buf
-    (Printf.sprintf "%s,%d,hist,%s,,,,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f\n" label
-       replica name s.Stats.count s.Stats.mean s.Stats.p50 s.Stats.p95
-       s.Stats.p99 s.Stats.min s.Stats.max)
+    (Printf.sprintf "%s,%d,hist,%s,,,,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f\n"
+       label replica name s.Stats.count s.Stats.mean s.Stats.p50 s.Stats.p95
+       s.Stats.p99 s.Stats.p999 s.Stats.min s.Stats.max)
 
 let metrics_csv ?(label = "run") t =
   let buf = Buffer.create 1024 in
@@ -98,6 +98,16 @@ let metrics_csv ?(label = "run") t =
         (Metrics.view_changes m);
       csv_event_row buf ~label ~replica ~name:"timer_fires"
         (Metrics.timer_fires m);
+      csv_event_row buf ~label ~replica ~name:"ops_admitted"
+        (Metrics.ops_admitted m);
+      csv_event_row buf ~label ~replica ~name:"ops_duplicate"
+        (Metrics.ops_duplicate m);
+      csv_event_row buf ~label ~replica ~name:"ops_rejected_full"
+        (Metrics.ops_rejected_full m);
+      csv_event_row buf ~label ~replica ~name:"ops_rejected_client_cap"
+        (Metrics.ops_rejected_client_cap m);
+      csv_event_row buf ~label ~replica ~name:"mempool_peak_occupancy"
+        (Metrics.mempool_peak_occupancy m);
       csv_hist_row buf ~label ~replica ~name:"commit_latency"
         (Metrics.commit_latency m);
       csv_hist_row buf ~label ~replica ~name:"vc_latency"
@@ -107,9 +117,9 @@ let metrics_csv ?(label = "run") t =
 
 let json_summary (s : Stats.summary) =
   Printf.sprintf
-    {|{"count":%d,"mean":%.6f,"p50":%.6f,"p95":%.6f,"p99":%.6f,"min":%.6f,"max":%.6f}|}
-    s.Stats.count s.Stats.mean s.Stats.p50 s.Stats.p95 s.Stats.p99 s.Stats.min
-    s.Stats.max
+    {|{"count":%d,"mean":%.6f,"p50":%.6f,"p95":%.6f,"p99":%.6f,"p999":%.6f,"min":%.6f,"max":%.6f}|}
+    s.Stats.count s.Stats.mean s.Stats.p50 s.Stats.p95 s.Stats.p99 s.Stats.p999
+    s.Stats.min s.Stats.max
 
 let json_dir (c : Metrics.dir_counter) =
   Printf.sprintf {|{"msgs":%d,"bytes":%d,"auths":%d}|} c.Metrics.msgs
@@ -133,10 +143,14 @@ let metrics_json ?(label = "run") t =
         (Metrics.kinds m);
       Buffer.add_string buf
         (Printf.sprintf
-           {|},"proposals":%d,"qcs":%d,"blocks_committed":%d,"ops_committed":%d,"view_changes":%d,"timer_fires":%d,"commit_latency":%s,"vc_latency":%s}|}
+           {|},"proposals":%d,"qcs":%d,"blocks_committed":%d,"ops_committed":%d,"view_changes":%d,"timer_fires":%d,"ops_admitted":%d,"ops_duplicate":%d,"ops_rejected_full":%d,"ops_rejected_client_cap":%d,"mempool_peak_occupancy":%d,"commit_latency":%s,"vc_latency":%s}|}
            (Metrics.proposals m) (Metrics.qcs m) (Metrics.blocks_committed m)
            (Metrics.ops_committed m) (Metrics.view_changes m)
-           (Metrics.timer_fires m)
+           (Metrics.timer_fires m) (Metrics.ops_admitted m)
+           (Metrics.ops_duplicate m)
+           (Metrics.ops_rejected_full m)
+           (Metrics.ops_rejected_client_cap m)
+           (Metrics.mempool_peak_occupancy m)
            (json_summary (Metrics.commit_latency m))
            (json_summary (Metrics.vc_latency m))))
     t.metrics;

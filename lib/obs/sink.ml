@@ -107,6 +107,13 @@ let view_change_exit h ~view =
               kind = Trace.View_change_exit }
       | None -> ())
 
+(* Metrics only — admissions are per-operation and would swamp the trace
+   buffer; occupancy/drop counters are what overload analysis needs. *)
+let mempool_admission h result ~occupancy =
+  match h with
+  | None -> ()
+  | Some s -> Metrics.note_admission s.metrics result ~occupancy
+
 let timer_armed h ~view ~after ~cause =
   match h with
   | None -> ()

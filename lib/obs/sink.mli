@@ -45,5 +45,15 @@ val view_change_exit : handle -> view:int -> unit
 
 (* -- runtime events -- *)
 
+val mempool_admission :
+  handle ->
+  [ `Admitted | `Duplicate | `Rejected_full | `Rejected_client_cap ] ->
+  occupancy:int ->
+  unit
+(** One mempool admission decision. Metrics only — no trace event is
+    built even when tracing, because admissions are per-operation and
+    would swamp the buffer (and shift span pairing) under open-loop
+    overload. *)
+
 val timer_armed : handle -> view:int -> after:float -> cause:string -> unit
 val timer_fired : handle -> view:int -> cause:string -> unit

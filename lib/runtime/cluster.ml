@@ -7,11 +7,15 @@ module Rng = Marlin_sim.Rng
 module Sim_disk = Marlin_store.Sim_disk
 module Cost_model = Marlin_crypto.Cost_model
 module Scenario = Marlin_faults.Scenario
+module Stats = Marlin_analysis.Stats
+module Workload = Marlin_workload.Workload
+module Arrival = Marlin_workload.Arrival
 
 type params = {
   n : int;
   f : int;
-  clients : int;
+  workload : Workload.t;
+  mempool : Mempool.Config.t;
   op_size : int;
   reply_size : int;
   batch_max : int;
@@ -30,7 +34,8 @@ let default_params =
   {
     n = 4;
     f = 1;
-    clients = 16;
+    workload = Workload.closed_loop ~clients:16;
+    mempool = Mempool.Config.unbounded;
     op_size = 150;
     reply_size = 150;
     batch_max = 400;
@@ -45,8 +50,24 @@ let default_params =
     obs = None;
   }
 
-let params_for_f ?(clients = 16) f =
-  { default_params with f; n = (3 * f) + 1; clients }
+let params_for_f ?workload f =
+  let workload =
+    match workload with Some w -> w | None -> default_params.workload
+  in
+  { default_params with f; n = (3 * f) + 1; workload }
+
+(** Aggregate client-visible open-loop counters over a window (between
+    {!open_loop_reset_window} and now). *)
+type open_stats = {
+  generated : int;  (** arrivals the workload offered *)
+  sent : int;  (** ops actually put on the wire (not shed) *)
+  shed : int;  (** shed at the source on contact-replica backpressure *)
+  rejected : int;  (** rejected by admission control at the contact replica *)
+  completed : int;  (** ops committed (first commit anywhere) *)
+  latency : Stats.summary;  (** submit to first commit, seconds *)
+  peak_occupancy : int;  (** max mempool occupancy seen at any replica *)
+  inflight : int;  (** sent, neither rejected nor committed yet (now) *)
+}
 
 module Make (P : C.PROTOCOL) = struct
   type replica = {
@@ -74,6 +95,40 @@ module Make (P : C.PROTOCOL) = struct
     mutable completed : (float * float) list; (* (time, latency) newest first *)
   }
 
+  (* One open-loop generator endpoint: an arrival sampler over its own
+     split RNG stream, drawing client keys uniformly from the key space —
+     no per-client state, however many distinct keys exist. *)
+  type source = {
+    s_endpoint : int;
+    s_index : int;
+    s_rng : Rng.t; (* key draws *)
+    s_sampler : Arrival.Sampler.t; (* owns its own split stream *)
+    mutable s_next_seq : int;
+  }
+
+  type open_state = {
+    key_space : int;
+    nsources : int;
+    srcs : source array;
+    (* submit time of every op on the wire, keyed by (client, seq);
+       removed at first commit or ingress rejection, so the table is
+       bounded by true in-flight, not by key space *)
+    inflight : (int * int, float) Hashtbl.t;
+    lat : Stats.Reservoir.t;
+    mutable generated : int;
+    mutable sent : int;
+    mutable shed : int;
+    mutable ingress_rejected : int;
+    mutable completed_ops : int;
+    mutable peak_occ : int;
+    (* window marks: totals at the last [open_loop_reset_window] *)
+    mutable base_generated : int;
+    mutable base_sent : int;
+    mutable base_shed : int;
+    mutable base_rejected : int;
+    mutable base_completed : int;
+  }
+
   type t = {
     params : params;
     sim : Sim.t;
@@ -81,6 +136,8 @@ module Make (P : C.PROTOCOL) = struct
     rng : Rng.t;
     replicas : replica array;
     clients : client array;
+    reply_clients : int; (* closed-loop clients awaiting replies; 0 open-loop *)
+    open_loop : open_state option;
     sig_bytes : int;
     mutable started : bool;
     mutable vc_start : float option;
@@ -155,6 +212,22 @@ module Make (P : C.PROTOCOL) = struct
     | _ :: _ ->
         r.executed <- r.executed + List.length !commits;
         r.commit_log <- (finish, List.length !commits) :: r.commit_log);
+    (* open loop: the first replica to execute an op closes its latency
+       measurement (exec_seen dedup means each op lands here once per
+       replica, and the inflight lookup makes the first one win) *)
+    (match (t.open_loop, !commits) with
+    | Some os, _ :: _ ->
+        List.iter
+          (fun (op : Operation.t) ->
+            let key = Operation.key op in
+            match Hashtbl.find_opt os.inflight key with
+            | Some t0 ->
+                Hashtbl.remove os.inflight key;
+                os.completed_ops <- os.completed_ops + 1;
+                Stats.Reservoir.add os.lat (finish -. t0)
+            | None -> ())
+          !commits
+    | _ -> ());
     (* emit *)
     List.iter
       (fun a ->
@@ -190,7 +263,7 @@ module Make (P : C.PROTOCOL) = struct
        as in the paper, and survive any f crashes among the repliers) *)
     List.iter
       (fun (op : Operation.t) ->
-        if op.Operation.client < t.params.clients then
+        if op.Operation.client < t.reply_clients then
           let dst = t.params.n + op.Operation.client in
           send t ~earliest:finish ~src:r.id ~dst
             (Message.make ~sender:r.id ~view:0
@@ -198,23 +271,49 @@ module Make (P : C.PROTOCOL) = struct
                   { client = op.Operation.client; seq = op.Operation.seq })))
       !commits
 
-  and handle_replica t (r : replica) ~src:_ (m : Message.t) =
+  and handle_replica t (r : replica) ~src (m : Message.t) =
     if not r.crashed then begin
       let start = Float.max (Sim.now t.sim) r.cpu_free in
       match m.Message.payload with
-      | Message.Client_op op ->
-          if Mempool.add r.mempool op then begin
-            if P.is_leader r.proto then
-              apply_replica_actions t r ~start (P.on_new_payload r.proto)
-          end
-          else if Mempool.is_committed r.mempool op && op.Operation.client < t.params.clients
-          then
-            (* a retransmission of an operation we already executed:
-               re-send the reply the client evidently missed *)
-            send t ~earliest:start ~src:r.id ~dst:(t.params.n + op.Operation.client)
-              (Message.make ~sender:r.id ~view:0
-                 (Message.Client_reply
-                    { client = op.Operation.client; seq = op.Operation.seq }))
+      | Message.Client_op op -> (
+          let result = Mempool.add r.mempool op in
+          Marlin_obs.Sink.mempool_admission r.obs
+            (match result with
+            | Mempool.Admitted -> `Admitted
+            | Mempool.Duplicate -> `Duplicate
+            | Mempool.Rejected Mempool.Pool_full -> `Rejected_full
+            | Mempool.Rejected Mempool.Per_client_cap -> `Rejected_client_cap)
+            ~occupancy:(Mempool.occupancy r.mempool);
+          match result with
+          | Mempool.Admitted ->
+              (match t.open_loop with
+              | Some os ->
+                  let occ = Mempool.occupancy r.mempool in
+                  if occ > os.peak_occ then os.peak_occ <- occ
+              | None -> ());
+              if P.is_leader r.proto then
+                apply_replica_actions t r ~start (P.on_new_payload r.proto)
+          | Mempool.Duplicate ->
+              if
+                Mempool.is_committed r.mempool op
+                && op.Operation.client < t.reply_clients
+              then
+                (* a retransmission of an operation we already executed:
+                   re-send the reply the client evidently missed *)
+                send t ~earliest:start ~src:r.id
+                  ~dst:(t.params.n + op.Operation.client)
+                  (Message.make ~sender:r.id ~view:0
+                     (Message.Client_reply
+                        { client = op.Operation.client; seq = op.Operation.seq }))
+          | Mempool.Rejected _ -> (
+              (* a drop the submitting generator would observe: account it
+                 (relayed copies, src < n, leave the op pooled at the
+                 contact, so they are not client-visible drops) *)
+              match t.open_loop with
+              | Some os when src >= t.params.n ->
+                  os.ingress_rejected <- os.ingress_rejected + 1;
+                  Hashtbl.remove os.inflight (Operation.key op)
+              | _ -> ()))
       | _ ->
           let view_before = P.current_view r.proto in
           let actions = P.on_message r.proto m in
@@ -292,6 +391,33 @@ module Make (P : C.PROTOCOL) = struct
         end
     | _ -> ()
 
+  (* ---------- open-loop sources ---------- *)
+
+  (* One arrival: draw a client key, shed at the source if the contact
+     replica signals backpressure (the admission-control feedback loop),
+     otherwise put the op on the wire; then schedule the next arrival.
+     Arrivals keep coming whatever the cluster does — that is the point. *)
+  let rec source_fire t (os : open_state) (s : source) =
+    let now = Sim.now t.sim in
+    os.generated <- os.generated + 1;
+    let client = Rng.int s.s_rng os.key_space in
+    (* interleaved seqs keep (client, seq) globally unique across sources
+       without any shared counter *)
+    let seq = (s.s_next_seq * os.nsources) + s.s_index in
+    s.s_next_seq <- s.s_next_seq + 1;
+    let contact = s.s_index mod t.params.n in
+    if Mempool.backpressure t.replicas.(contact).mempool then
+      os.shed <- os.shed + 1
+    else begin
+      os.sent <- os.sent + 1;
+      let op = Operation.make ~client ~seq ~body:"" in
+      Hashtbl.replace os.inflight (Operation.key op) now;
+      send t ~earliest:now ~src:s.s_endpoint ~dst:contact
+        (Message.make ~sender:s.s_endpoint ~view:0 (Message.Client_op op))
+    end;
+    let next = Arrival.Sampler.next s.s_sampler ~now in
+    Sim.schedule_at t.sim ~time:next (fun () -> source_fire t os s)
+
   (* ---------- relay: ops reach the leader ---------- *)
 
   (* A non-leader holding fresh ops forwards them to the current leader.
@@ -316,8 +442,9 @@ module Make (P : C.PROTOCOL) = struct
   let create params =
     let sim = Sim.create () in
     let rng = Rng.create ~seed:params.seed in
+    let extra_endpoints = Workload.endpoints params.workload in
     let net = Netsim.create sim (Rng.split rng) params.net
-        ~endpoints:(params.n + params.clients) in
+        ~endpoints:(params.n + extra_endpoints) in
     let keychain = Marlin_crypto.Keychain.create ~n:params.n () in
     let sig_bytes =
       Cost_model.combined_size params.cost_model ~n:params.n
@@ -325,7 +452,7 @@ module Make (P : C.PROTOCOL) = struct
     in
     Netsim.set_obs net params.obs;
     let make_replica id =
-      let mempool = Mempool.create () in
+      let mempool = Mempool.create ~config:params.mempool () in
       let obs =
         match params.obs with
         | None -> Marlin_obs.Sink.none
@@ -368,6 +495,46 @@ module Make (P : C.PROTOCOL) = struct
         completed = [];
       }
     in
+    let open_loop =
+      match params.workload with
+      | Workload.Closed_loop _ -> None
+      | Workload.Open_loop { arrival; key_space; sources } ->
+          (* sources jointly offer the workload's rate; each owns split
+             streams for arrivals and key draws, so adding a source never
+             perturbs another's trajectory *)
+          let per_source =
+            Arrival.scale arrival ~by:(1. /. float_of_int sources)
+          in
+          Some
+            {
+              key_space;
+              nsources = sources;
+              srcs =
+                Array.init sources (fun i ->
+                    let s_rng = Rng.split rng in
+                    {
+                      s_endpoint = params.n + i;
+                      s_index = i;
+                      s_rng;
+                      s_sampler =
+                        Arrival.Sampler.create per_source ~rng:(Rng.split rng);
+                      s_next_seq = 0;
+                    });
+              inflight = Hashtbl.create 4096;
+              lat = Stats.Reservoir.create ~capacity:8192 ();
+              generated = 0;
+              sent = 0;
+              shed = 0;
+              ingress_rejected = 0;
+              completed_ops = 0;
+              peak_occ = 0;
+              base_generated = 0;
+              base_sent = 0;
+              base_shed = 0;
+              base_rejected = 0;
+              base_completed = 0;
+            }
+    in
     let t =
       {
         params;
@@ -375,7 +542,9 @@ module Make (P : C.PROTOCOL) = struct
         net;
         rng;
         replicas = Array.init params.n make_replica;
-        clients = Array.init params.clients make_client;
+        clients = Array.init (Workload.closed_clients params.workload) make_client;
+        reply_clients = Workload.closed_clients params.workload;
+        open_loop;
         sig_bytes;
         started = false;
         vc_start = None;
@@ -388,6 +557,14 @@ module Make (P : C.PROTOCOL) = struct
     Array.iter
       (fun cl -> Netsim.register net ~id:cl.endpoint (handle_client t cl))
       t.clients;
+    (match t.open_loop with
+    | None -> ()
+    | Some os ->
+        Array.iter
+          (fun s ->
+            (* sources only transmit; register so the endpoint is valid *)
+            Netsim.register net ~id:s.s_endpoint (fun ~src:_ _ -> ()))
+          os.srcs);
     t
 
   let start t =
@@ -405,6 +582,16 @@ module Make (P : C.PROTOCOL) = struct
           let offset = Rng.float t.rng 0.05 in
           Sim.schedule_at t.sim ~time:offset (fun () -> submit_op t cl))
         t.clients;
+      (* Open-loop sources: the first arrival of each is an honest draw
+         from its own process — no stagger needed. *)
+      (match t.open_loop with
+      | None -> ()
+      | Some os ->
+          Array.iter
+            (fun s ->
+              let first = Arrival.Sampler.next s.s_sampler ~now:0. in
+              Sim.schedule_at t.sim ~time:first (fun () -> source_fire t os s))
+            os.srcs);
       (* Rotating-leader mode: force a view change on every live replica
          at each rotation boundary. *)
       match t.params.rotation with
@@ -517,6 +704,62 @@ module Make (P : C.PROTOCOL) = struct
 
   let view_change_start t = t.vc_start
   let pre_prepare_seen t = t.pre_prepare_seen
+
+  let open_state_exn t =
+    match t.open_loop with
+    | Some os -> os
+    | None ->
+        invalid_arg
+          "Cluster: open-loop measurement on a closed-loop workload (use \
+           Workload.open_loop in params)"
+
+  (* Drop warmup: zero the window so [open_loop_stats] measures steady
+     state only (generated/sent/... become deltas from this instant; the
+     latency reservoir and occupancy high-water mark restart). *)
+  let open_loop_reset_window t =
+    let os = open_state_exn t in
+    os.base_generated <- os.generated;
+    os.base_sent <- os.sent;
+    os.base_shed <- os.shed;
+    os.base_rejected <- os.ingress_rejected;
+    os.base_completed <- os.completed_ops;
+    os.peak_occ <- 0;
+    Stats.Reservoir.clear os.lat
+
+  let open_loop_stats t =
+    let os = open_state_exn t in
+    {
+      generated = os.generated - os.base_generated;
+      sent = os.sent - os.base_sent;
+      shed = os.shed - os.base_shed;
+      rejected = os.ingress_rejected - os.base_rejected;
+      completed = os.completed_ops - os.base_completed;
+      latency = Stats.Reservoir.summarize os.lat;
+      peak_occupancy = os.peak_occ;
+      inflight = Hashtbl.length os.inflight;
+    }
+
+  let mempool_stats t =
+    Array.fold_left
+      (fun acc r ->
+        let s = Mempool.stats r.mempool in
+        {
+          Mempool.admitted = acc.Mempool.admitted + s.Mempool.admitted;
+          duplicates = acc.Mempool.duplicates + s.Mempool.duplicates;
+          rejected_full = acc.Mempool.rejected_full + s.Mempool.rejected_full;
+          rejected_client_cap =
+            acc.Mempool.rejected_client_cap + s.Mempool.rejected_client_cap;
+          peak_occupancy =
+            Int.max acc.Mempool.peak_occupancy s.Mempool.peak_occupancy;
+        })
+      {
+        Mempool.admitted = 0;
+        duplicates = 0;
+        rejected_full = 0;
+        rejected_client_cap = 0;
+        peak_occupancy = 0;
+      }
+      t.replicas
 
   let check_agreement t =
     let live =

@@ -1,18 +1,24 @@
 (** A full simulated deployment: n replicas running a consensus protocol
-    plus closed-loop clients, over the {!Marlin_sim.Netsim} network, with
+    plus a load workload, over the {!Marlin_sim.Netsim} network, with
     CPU, disk and bandwidth accounting — the machinery behind every
     figure-reproducing benchmark.
 
-    Replicas execute committed operations (deduplicated by client/seq) and
-    reply to clients; a client completes a request on f+1 matching replies
-    and immediately submits the next one (closed loop — load is set by the
-    number of clients, as in the paper's throughput/latency sweeps). *)
-
+    Replicas execute committed operations (deduplicated by client/seq).
+    The workload is either closed-loop — clients complete a request on
+    f+1 matching replies and immediately submit the next, as in the
+    paper's throughput/latency sweeps — or open-loop: generator sources
+    offer operations on an {!Marlin_workload.Arrival} process clock
+    regardless of completions, shedding at the source when the contact
+    replica's bounded mempool signals backpressure. *)
 
 type params = {
   n : int;
   f : int;
-  clients : int;
+  workload : Marlin_workload.Workload.t;
+      (** how load is offered — see {!Marlin_workload.Workload} *)
+  mempool : Mempool.Config.t;
+      (** admission-control limits for every replica's pool
+          ({!Mempool.Config.unbounded} preserves pre-bounded behaviour) *)
   op_size : int;  (** bytes per operation body (150 in the paper, 0 for no-op) *)
   reply_size : int;  (** bytes per reply (150) *)
   batch_max : int;  (** max operations per block *)
@@ -31,12 +37,32 @@ type params = {
 }
 
 val default_params : params
-(** The paper's testbed defaults: f = 1 (n = 4), 16 clients, 150-byte
-    ops/replies, 400-op batches, 40 ms / 200 Mbps network, ECDSA costs,
-    LevelDB-like disk, 1 s base timeout, no rotation. *)
+(** The paper's testbed defaults: f = 1 (n = 4), a closed loop of 16
+    clients, unbounded mempool, 150-byte ops/replies, 400-op batches,
+    40 ms / 200 Mbps network, ECDSA costs, LevelDB-like disk, 1 s base
+    timeout, no rotation. *)
 
-val params_for_f : ?clients:int -> int -> params
+val params_for_f : ?workload:Marlin_workload.Workload.t -> int -> params
 (** [params_for_f f] is {!default_params} with [n = 3f + 1]. *)
+
+(** Aggregate client-visible open-loop counters over the current
+    measurement window (since the last [open_loop_reset_window]). *)
+type open_stats = {
+  generated : int;  (** arrivals the workload offered *)
+  sent : int;  (** operations actually put on the wire (not shed) *)
+  shed : int;  (** shed at the source on contact-replica backpressure *)
+  rejected : int;
+      (** rejected by admission control at the contact replica (relayed
+          copies rejected elsewhere leave the op pooled at the contact and
+          are not client-visible drops) *)
+  completed : int;  (** operations committed (first commit anywhere) *)
+  latency : Marlin_analysis.Stats.summary;
+      (** submit to first commit, seconds — measured per offered
+          operation, so there is no coordinated omission *)
+  peak_occupancy : int;
+      (** max mempool occupancy observed at any replica admission *)
+  inflight : int;  (** sent, neither rejected nor committed yet *)
+}
 
 module Make (P : Marlin_core.Consensus_intf.PROTOCOL) : sig
   type t
@@ -82,7 +108,22 @@ module Make (P : Marlin_core.Consensus_intf.PROTOCOL) : sig
   (** Operations executed by [replica] in the window. *)
 
   val latencies_in : t -> since:float -> until:float -> float list
-  (** Client request latencies completed in the window (seconds). *)
+  (** Closed-loop client request latencies completed in the window
+      (seconds); empty for open-loop workloads — use {!open_loop_stats}. *)
+
+  val open_loop_reset_window : t -> unit
+  (** Zero the open-loop measurement window (call at the end of warmup:
+      counters become deltas from this instant, the latency reservoir and
+      the occupancy high-water mark restart).
+      @raise Invalid_argument on a closed-loop workload. *)
+
+  val open_loop_stats : t -> open_stats
+  (** @raise Invalid_argument on a closed-loop workload. *)
+
+  val mempool_stats : t -> Mempool.stats
+  (** Admission counters summed over all replicas (peak occupancy is the
+      max across replicas), since cluster creation — nonzero only when
+      {!params.mempool} actually bounds the pool or duplicates arrive. *)
 
   val total_executed : t -> replica:int -> int
 

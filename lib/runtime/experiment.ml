@@ -2,6 +2,7 @@ module C = Marlin_core.Consensus_intf
 module Stats = Marlin_analysis.Stats
 module Netsim = Marlin_sim.Netsim
 module Sim = Marlin_sim.Sim
+module Workload = Marlin_workload.Workload
 
 module Result = struct
   type throughput = {
@@ -32,6 +33,98 @@ module Result = struct
     latency : Stats.summary;
   }
 
+  type open_loop = {
+    workload : string;
+    offered : float;
+    goodput : float;
+    generated : int;
+    sent : int;
+    shed : int;
+    rejected : int;
+    drop_rate : float;
+    peak_occupancy : int;
+    latency : Stats.summary;
+    agreement : bool;
+  }
+
+  (* -- JSON: one field-list renderer behind every record -- *)
+
+  (* Every record's to_json is an [obj] of [fld_*] combinators: field
+     names and formats live in exactly one list per record, so adding a
+     record (or a field) cannot drift from the others' conventions. *)
+  let obj fields = "{" ^ String.concat "," fields ^ "}"
+  let fld_int key v = Printf.sprintf {|"%s":%d|} key v
+  let fld_float key ~dp v = Printf.sprintf {|"%s":%.*f|} key dp v
+  let fld_bool key v = Printf.sprintf {|"%s":%b|} key v
+  let fld_str key v = Printf.sprintf {|"%s":"%s"|} key v
+  let fld_raw key v = Printf.sprintf {|"%s":%s|} key v
+
+  let summary_json (s : Stats.summary) =
+    obj
+      [
+        fld_int "count" s.Stats.count;
+        fld_float "mean" ~dp:6 s.Stats.mean;
+        fld_float "p50" ~dp:6 s.Stats.p50;
+        fld_float "p95" ~dp:6 s.Stats.p95;
+        fld_float "p99" ~dp:6 s.Stats.p99;
+        fld_float "p999" ~dp:6 s.Stats.p999;
+        fld_float "min" ~dp:6 s.Stats.min;
+        fld_float "max" ~dp:6 s.Stats.max;
+      ]
+
+  let throughput_to_json r =
+    obj
+      [
+        fld_int "clients" r.clients;
+        fld_float "throughput" ~dp:2 r.throughput;
+        fld_raw "latency" (summary_json r.latency);
+        fld_bool "agreement" r.agreement;
+        fld_int "executed" r.executed;
+      ]
+
+  let view_change_to_json r =
+    obj
+      [
+        fld_float "vc_latency" ~dp:6 r.vc_latency;
+        fld_bool "unhappy" r.unhappy;
+        fld_int "vc_bytes" r.vc_bytes;
+        fld_int "vc_authenticators" r.vc_authenticators;
+        fld_int "vc_messages" r.vc_messages;
+      ]
+
+  (* recovery_latency is -1 when the cluster never committed again *)
+  let fault_to_json r =
+    obj
+      [
+        fld_str "scenario" r.scenario;
+        fld_bool "recovered" r.recovered;
+        fld_float "recovery_latency" ~dp:6 r.recovery_latency;
+        fld_int "vc_messages" r.vc_messages;
+        fld_int "vc_bytes" r.vc_bytes;
+        fld_int "vc_authenticators" r.vc_authenticators;
+        fld_int "committed" r.committed;
+        fld_bool "agreement" r.agreement;
+        fld_raw "latency" (summary_json r.latency);
+      ]
+
+  let open_loop_to_json r =
+    obj
+      [
+        fld_str "workload" r.workload;
+        fld_float "offered" ~dp:2 r.offered;
+        fld_float "goodput" ~dp:2 r.goodput;
+        fld_int "generated" r.generated;
+        fld_int "sent" r.sent;
+        fld_int "shed" r.shed;
+        fld_int "rejected" r.rejected;
+        fld_float "drop_rate" ~dp:6 r.drop_rate;
+        fld_int "peak_occupancy" r.peak_occupancy;
+        fld_raw "latency" (summary_json r.latency);
+        fld_bool "agreement" r.agreement;
+      ]
+
+  (* -- pretty printers -- *)
+
   let pp_throughput fmt r =
     Format.fprintf fmt
       "clients=%d throughput=%.0f ops/s latency(mean=%.4fs p95=%.4fs) %s"
@@ -53,28 +146,13 @@ module Result = struct
       r.vc_messages r.vc_authenticators r.committed
       (if r.agreement then "agreement=ok" else "AGREEMENT VIOLATED")
 
-  let summary_json (s : Stats.summary) =
-    Printf.sprintf
-      {|{"count":%d,"mean":%.6f,"p50":%.6f,"p95":%.6f,"p99":%.6f,"min":%.6f,"max":%.6f}|}
-      s.Stats.count s.Stats.mean s.Stats.p50 s.Stats.p95 s.Stats.p99
-      s.Stats.min s.Stats.max
-
-  let throughput_to_json r =
-    Printf.sprintf
-      {|{"clients":%d,"throughput":%.2f,"latency":%s,"agreement":%b,"executed":%d}|}
-      r.clients r.throughput (summary_json r.latency) r.agreement r.executed
-
-  let view_change_to_json r =
-    Printf.sprintf
-      {|{"vc_latency":%.6f,"unhappy":%b,"vc_bytes":%d,"vc_authenticators":%d,"vc_messages":%d}|}
-      r.vc_latency r.unhappy r.vc_bytes r.vc_authenticators r.vc_messages
-
-  (* recovery_latency is -1 when the cluster never committed again *)
-  let fault_to_json r =
-    Printf.sprintf
-      {|{"scenario":"%s","recovered":%b,"recovery_latency":%.6f,"vc_messages":%d,"vc_bytes":%d,"vc_authenticators":%d,"committed":%d,"agreement":%b,"latency":%s}|}
-      r.scenario r.recovered r.recovery_latency r.vc_messages r.vc_bytes
-      r.vc_authenticators r.committed r.agreement (summary_json r.latency)
+  let pp_open_loop fmt r =
+    Format.fprintf fmt
+      "%s offered=%.0f/s goodput=%.0f/s drop=%.1f%% p99=%.4fs p999=%.4fs \
+       peak_occ=%d %s"
+      r.workload r.offered r.goodput (100. *. r.drop_rate)
+      r.latency.Stats.p99 r.latency.Stats.p999 r.peak_occupancy
+      (if r.agreement then "agreement=ok" else "AGREEMENT VIOLATED")
 end
 
 module Obs = Marlin_obs
@@ -107,6 +185,20 @@ type fault_result = Result.fault = {
   latency : Stats.summary;
 }
 
+type open_loop_result = Result.open_loop = {
+  workload : string;
+  offered : float;
+  goodput : float;
+  generated : int;
+  sent : int;
+  shed : int;
+  rejected : int;
+  drop_rate : float;
+  peak_occupancy : int;
+  latency : Stats.summary;
+  agreement : bool;
+}
+
 let run_throughput (module P : C.PROTOCOL) ~params ~warmup ~duration =
   let module Cl = Cluster.Make (P) in
   let t = Cl.create params in
@@ -116,7 +208,7 @@ let run_throughput (module P : C.PROTOCOL) ~params ~warmup ~duration =
     Cl.committed_ops_in t ~replica:probe ~since:warmup ~until:(warmup +. duration)
   in
   {
-    clients = params.Cluster.clients;
+    clients = Workload.closed_clients params.Cluster.workload;
     throughput = float_of_int executed /. duration;
     latency =
       Stats.summarize (Cl.latencies_in t ~since:warmup ~until:(warmup +. duration));
@@ -174,8 +266,10 @@ let profile_json ~label ~sim_seconds (r : throughput_result) obs =
 let sweep proto ~params ~warmup ~duration ~client_counts =
   List.map
     (fun clients ->
-      run_throughput proto ~params:{ params with Cluster.clients } ~warmup
-        ~duration)
+      run_throughput proto
+        ~params:
+          { params with Cluster.workload = Workload.closed_loop ~clients }
+        ~warmup ~duration)
     client_counts
 
 let peak ?latency_cap results =
@@ -187,15 +281,86 @@ let peak ?latency_cap results =
           first rest
   in
   match latency_cap with
-  | None -> best results
+  | None -> (best results, `Within_cap)
   | Some cap -> (
       match
         List.filter
           (fun (r : throughput_result) -> r.latency.Stats.mean <= cap)
           results
       with
-      | [] -> best results
-      | within -> best within)
+      | [] ->
+          (* every point blew the cap: the best point is saturated, not a
+             sustainable peak — the tag forces callers to say so *)
+          (best results, `Fallback)
+      | within -> (best within, `Within_cap))
+
+(* ---------- open loop ---------- *)
+
+let run_open_loop (module P : C.PROTOCOL) ~params ~warmup ~duration =
+  (match params.Cluster.workload with
+  | Workload.Open_loop _ -> ()
+  | Workload.Closed_loop _ ->
+      invalid_arg
+        "Experiment.run_open_loop: params.workload is closed-loop (build it \
+         with Workload.open_loop)");
+  let module Cl = Cluster.Make (P) in
+  let t = Cl.create params in
+  Sim.schedule_at (Cl.sim t) ~time:warmup (fun () ->
+      Cl.open_loop_reset_window t);
+  Cl.run t ~until:(warmup +. duration);
+  let s = Cl.open_loop_stats t in
+  let offered =
+    match Workload.offered_rate params.Cluster.workload with
+    | Some rate -> rate
+    | None -> 0.
+  in
+  {
+    workload = Workload.label params.Cluster.workload;
+    offered;
+    goodput = float_of_int s.Cluster.completed /. duration;
+    generated = s.Cluster.generated;
+    sent = s.Cluster.sent;
+    shed = s.Cluster.shed;
+    rejected = s.Cluster.rejected;
+    drop_rate =
+      (if s.Cluster.generated = 0 then 0.
+       else
+         float_of_int (s.Cluster.shed + s.Cluster.rejected)
+         /. float_of_int s.Cluster.generated);
+    peak_occupancy = s.Cluster.peak_occupancy;
+    latency = s.Cluster.latency;
+    agreement = Cl.check_agreement t;
+  }
+
+let open_loop_sweep proto ~params ~warmup ~duration ~rates =
+  List.map
+    (fun rate ->
+      run_open_loop proto
+        ~params:
+          {
+            params with
+            Cluster.workload =
+              Workload.with_rate params.Cluster.workload ~rate;
+          }
+        ~warmup ~duration)
+    rates
+
+let knee ?(latency_cap = 1.0) (points : open_loop_result list) =
+  let best = function
+    | [] -> invalid_arg "Experiment.knee: no points"
+    | first :: rest ->
+        List.fold_left
+          (fun acc (r : open_loop_result) ->
+            if r.goodput > acc.goodput then r else acc)
+          first rest
+  in
+  match
+    List.filter
+      (fun (r : open_loop_result) -> r.latency.Stats.p99 <= latency_cap)
+      points
+  with
+  | [] -> (best points, `Fallback)
+  | within -> (best within, `Within_cap)
 
 let run_view_change (module P : C.PROTOCOL) ~params ~force_unhappy =
   let module Cl = Cluster.Make (P) in
@@ -353,7 +518,7 @@ let run_with_crashes (module P : C.PROTOCOL) ~params ~crashed ~warmup ~duration 
     Cl.committed_ops_in t ~replica:probe ~since:warmup ~until:(warmup +. duration)
   in
   {
-    clients = params.Cluster.clients;
+    clients = Workload.closed_clients params.Cluster.workload;
     throughput = float_of_int executed /. duration;
     latency =
       Stats.summarize (Cl.latencies_in t ~since:warmup ~until:(warmup +. duration));

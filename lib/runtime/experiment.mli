@@ -39,13 +39,31 @@ module Result : sig
             impact *)
   }
 
+  type open_loop = {
+    workload : string;  (** {!Marlin_workload.Workload.label} of the load *)
+    offered : float;  (** mean offered load, ops/s *)
+    goodput : float;  (** unique ops committed per second in the window *)
+    generated : int;  (** arrivals offered in the window *)
+    sent : int;  (** put on the wire (not shed) *)
+    shed : int;  (** shed at the source on backpressure *)
+    rejected : int;  (** rejected by admission control at the contact *)
+    drop_rate : float;  (** (shed + rejected) / generated *)
+    peak_occupancy : int;  (** max mempool occupancy at any replica *)
+    latency : Marlin_analysis.Stats.summary;
+        (** submit to first commit, seconds, with p999 — measured per
+            offered op: no coordinated omission *)
+    agreement : bool;
+  }
+
   val pp_throughput : Format.formatter -> throughput -> unit
   val pp_view_change : Format.formatter -> view_change -> unit
   val pp_fault : Format.formatter -> fault -> unit
+  val pp_open_loop : Format.formatter -> open_loop -> unit
   val summary_json : Marlin_analysis.Stats.summary -> string
   val throughput_to_json : throughput -> string
   val view_change_to_json : view_change -> string
   val fault_to_json : fault -> string
+  val open_loop_to_json : open_loop -> string
 end
 
 type throughput_result = Result.throughput = {
@@ -74,6 +92,20 @@ type fault_result = Result.fault = {
   committed : int;
   agreement : bool;
   latency : Marlin_analysis.Stats.summary;
+}
+
+type open_loop_result = Result.open_loop = {
+  workload : string;
+  offered : float;
+  goodput : float;
+  generated : int;
+  sent : int;
+  shed : int;
+  rejected : int;
+  drop_rate : float;
+  peak_occupancy : int;
+  latency : Marlin_analysis.Stats.summary;
+  agreement : bool;
 }
 
 val run_throughput :
@@ -109,12 +141,44 @@ val sweep :
   throughput_result list
 (** One throughput/latency point per client count (a figure 10a-f curve). *)
 
-val peak : ?latency_cap:float -> throughput_result list -> throughput_result
+val peak :
+  ?latency_cap:float ->
+  throughput_result list ->
+  throughput_result * [ `Within_cap | `Fallback ]
 (** The point with the highest throughput among those whose mean latency is
     within [latency_cap] (default: none). The paper's throughput/latency
     figures plot latency up to 1 s, so its "peak throughput" is the best
-    point in that range; pass [~latency_cap:1.0] to match. Falls back to
-    the overall maximum when no point qualifies.
+    point in that range; pass [~latency_cap:1.0] to match. When no point
+    qualifies the overall maximum is returned tagged [`Fallback] — a
+    saturated point, which callers must not report as a sustainable peak.
+    @raise Invalid_argument on the empty list. *)
+
+val run_open_loop :
+  Marlin_core.Consensus_intf.protocol -> params:Cluster.params ->
+  warmup:float -> duration:float -> open_loop_result
+(** Offered-load measurement: run for [warmup + duration] simulated
+    seconds with the open-loop workload in [params.workload], reset the
+    measurement window at [warmup], and report goodput, drop accounting,
+    mempool peak occupancy and the submit-to-first-commit latency tail
+    over the steady window.
+    @raise Invalid_argument when [params.workload] is closed-loop. *)
+
+val open_loop_sweep :
+  Marlin_core.Consensus_intf.protocol -> params:Cluster.params ->
+  warmup:float -> duration:float -> rates:float list ->
+  open_loop_result list
+(** One {!run_open_loop} point per offered rate ([params.workload]
+    re-targeted via {!Marlin_workload.Workload.with_rate}) — the
+    goodput-vs-offered-load curve whose knee {!knee} finds. *)
+
+val knee :
+  ?latency_cap:float ->
+  open_loop_result list ->
+  open_loop_result * [ `Within_cap | `Fallback ]
+(** Max sustainable throughput: the highest-goodput point whose p99
+    latency is within [latency_cap] (default 1 s). [`Fallback] means every
+    point blew the cap — the curve never left saturation, so the returned
+    maximum is not sustainable.
     @raise Invalid_argument on the empty list. *)
 
 val run_view_change :

@@ -1,30 +1,113 @@
 open Marlin_types
 
+module Config = struct
+  type t = { capacity : int; per_client_cap : int }
+
+  let unbounded = { capacity = max_int; per_client_cap = max_int }
+
+  let make ?(capacity = max_int) ?(per_client_cap = max_int) () =
+    if capacity < 1 then
+      invalid_arg "Mempool.Config.make: capacity must be >= 1";
+    if per_client_cap < 1 then
+      invalid_arg "Mempool.Config.make: per_client_cap must be >= 1";
+    { capacity; per_client_cap }
+
+  let capacity t = t.capacity
+  let per_client_cap t = t.per_client_cap
+end
+
+type reject_reason = Pool_full | Per_client_cap
+type admission = Admitted | Duplicate | Rejected of reject_reason
+
+type stats = {
+  admitted : int;
+  duplicates : int;
+  rejected_full : int;
+  rejected_client_cap : int;
+  peak_occupancy : int;
+}
+
 type status = In_pool | Taken | Committed
 
 type t = {
+  config : Config.t;
   queue : Operation.t Queue.t;
   seen : (int * int, status) Hashtbl.t;
   taken : (int * int, Operation.t) Hashtbl.t; (* taken, not yet committed *)
+  held : (int, int) Hashtbl.t; (* in-flight (In_pool + Taken) ops per client *)
   mutable stale : int; (* committed ops still sitting in [queue] *)
+  mutable s_admitted : int;
+  mutable s_duplicates : int;
+  mutable s_rejected_full : int;
+  mutable s_rejected_client_cap : int;
+  mutable s_peak_occupancy : int;
 }
 
-let create () =
+let create ?(config = Config.unbounded) () =
   {
+    config;
     queue = Queue.create ();
     seen = Hashtbl.create 256;
     taken = Hashtbl.create 64;
+    held = Hashtbl.create 64;
     stale = 0;
+    s_admitted = 0;
+    s_duplicates = 0;
+    s_rejected_full = 0;
+    s_rejected_client_cap = 0;
+    s_peak_occupancy = 0;
   }
+
+let config t = t.config
+
+(* In-flight operations this pool is responsible for: queued and not yet
+   committed, plus taken into a block and not yet committed. *)
+let occupancy t = Queue.length t.queue - t.stale + Hashtbl.length t.taken
+
+let backpressure t = occupancy t >= t.config.Config.capacity
+
+let held_by t client =
+  match Hashtbl.find_opt t.held client with Some k -> k | None -> 0
+
+let incr_held t client = Hashtbl.replace t.held client (held_by t client + 1)
+
+let decr_held t client =
+  match held_by t client - 1 with
+  | 0 -> Hashtbl.remove t.held client (* keep [held] bounded by in-flight *)
+  | k -> Hashtbl.replace t.held client k
 
 let add t op =
   let key = Operation.key op in
-  if Hashtbl.mem t.seen key then false
+  if Hashtbl.mem t.seen key then begin
+    t.s_duplicates <- t.s_duplicates + 1;
+    Duplicate
+  end
+  else if occupancy t >= t.config.Config.capacity then begin
+    t.s_rejected_full <- t.s_rejected_full + 1;
+    Rejected Pool_full
+  end
+  else if held_by t op.Operation.client >= t.config.Config.per_client_cap
+  then begin
+    t.s_rejected_client_cap <- t.s_rejected_client_cap + 1;
+    Rejected Per_client_cap
+  end
   else begin
     Hashtbl.replace t.seen key In_pool;
     Queue.push op t.queue;
-    true
+    incr_held t op.Operation.client;
+    t.s_admitted <- t.s_admitted + 1;
+    t.s_peak_occupancy <- Int.max t.s_peak_occupancy (occupancy t);
+    Admitted
   end
+
+let stats t =
+  {
+    admitted = t.s_admitted;
+    duplicates = t.s_duplicates;
+    rejected_full = t.s_rejected_full;
+    rejected_client_cap = t.s_rejected_client_cap;
+    peak_occupancy = t.s_peak_occupancy;
+  }
 
 (* Batches must be canonical: proposals feed block digests, so any
    replica-local ordering artifact (arrival interleaving, hashtable
@@ -58,8 +141,11 @@ let mark_committed t ops =
     (fun op ->
       let key = Operation.key op in
       (match Hashtbl.find_opt t.seen key with
-      | Some In_pool -> t.stale <- t.stale + 1
-      | Some Taken | Some Committed | None -> ());
+      | Some In_pool ->
+          t.stale <- t.stale + 1;
+          decr_held t op.Operation.client
+      | Some Taken -> decr_held t op.Operation.client
+      | Some Committed | None -> ());
       Hashtbl.remove t.taken key;
       Hashtbl.replace t.seen key Committed)
     ops
@@ -73,7 +159,9 @@ let is_committed t op =
 
 let requeue_taken t =
   (* the fold's order is a hashtable artifact; sort so the re-queued ops
-     re-enter in canonical key order on every replica *)
+     re-enter in canonical key order on every replica. Requeued ops were
+     already admitted, so neither capacity nor per-client caps re-apply:
+     occupancy is unchanged by In_pool <-> Taken moves. *)
   let ops =
     Hashtbl.fold (fun _ op acc -> op :: acc) t.taken [] |> sort_by_key
   in

@@ -1,0 +1,69 @@
+(** Open-loop arrival processes.
+
+    An arrival process describes {e when} operations are offered to the
+    system, independent of how fast the system absorbs them — the defining
+    property of open-loop load (a closed-loop client waits for a reply
+    before submitting again, so it can never push past saturation).
+
+    Values are built through smart constructors that validate rates and
+    durations; the variant is [private] so every in-flight value is known
+    valid. Sampling is driven entirely by a caller-supplied
+    {!Marlin_sim.Rng} stream: same seed, same arrival times, bit for bit. *)
+
+type t = private
+  | Poisson of { rate : float }
+      (** Memoryless arrivals at [rate] ops/s. *)
+  | Mmpp of {
+      rate_low : float;
+      rate_high : float;
+      dwell_low : float;
+      dwell_high : float;
+    }
+      (** Bursty: a two-phase Markov-modulated Poisson process. Arrivals
+          are Poisson at [rate_low] (resp. [rate_high]) while the hidden
+          phase dwells there; dwell times are exponential with means
+          [dwell_low]/[dwell_high] seconds. *)
+  | Ramp of { rate_from : float; rate_to : float; over : float }
+      (** Rate moves linearly from [rate_from] to [rate_to] over the first
+          [over] seconds, then holds at [rate_to]. *)
+
+val poisson : rate:float -> t
+(** @raise Invalid_argument unless [rate] is finite and positive. *)
+
+val mmpp :
+  rate_low:float -> rate_high:float -> dwell_low:float -> dwell_high:float -> t
+(** @raise Invalid_argument unless all four are finite and positive. *)
+
+val ramp : rate_from:float -> rate_to:float -> over:float -> t
+(** @raise Invalid_argument unless all three are finite and positive. *)
+
+val mean_rate : t -> float
+(** Long-run average offered rate in ops/s (for [Ramp], the average over
+    the ramp itself, [(rate_from + rate_to) / 2]). *)
+
+val scale : t -> by:float -> t
+(** Multiply every rate by [by] (dwell times and ramp duration are
+    unchanged). @raise Invalid_argument unless [by] is finite, positive. *)
+
+val with_mean_rate : t -> rate:float -> t
+(** [scale]d so that {!mean_rate} equals [rate] — how a sweep re-targets
+    one arrival shape at many offered loads. *)
+
+val label : t -> string
+(** Short deterministic description, e.g. ["poisson(20000/s)"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** A stateful sampler: successive arrival instants for one source. *)
+module Sampler : sig
+  type arrival := t
+  type t
+
+  val create : arrival -> rng:Marlin_sim.Rng.t -> t
+  (** The sampler owns [rng] from here on: give each source its own
+      {!Marlin_sim.Rng.split} stream. *)
+
+  val next : t -> now:float -> float
+  (** The first arrival instant strictly after [now]. Calls must pass
+      non-decreasing [now] values (the simulation clock). *)
+end

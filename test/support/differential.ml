@@ -39,7 +39,7 @@ let run_once (module P : C.PROTOCOL) ~fanout ~n ~f ~clients ~seed ~until
       Cluster.default_params with
       Cluster.n;
       f;
-      clients;
+      workload = Marlin_workload.Workload.closed_loop ~clients;
       seed;
       net = { Netsim.default_config with Netsim.fanout_broadcast = fanout };
       obs = Some obs;

@@ -14,7 +14,12 @@ let basic_hotstuff : C.protocol = (module Marlin_core.Hotstuff)
 let pbft : C.protocol = (module Marlin_core.Pbft)
 
 let small_params ?(clients = 16) () =
-  { (Cluster.params_for_f ~clients 1) with Cluster.seed = 7 }
+  {
+    (Cluster.params_for_f
+       ~workload:(Marlin_workload.Workload.closed_loop ~clients) 1)
+    with
+    Cluster.seed = 7;
+  }
 
 let test_marlin_cluster_commits () =
   let r = Experiment.run_throughput marlin ~params:(small_params ()) ~warmup:1.0 ~duration:3.0 in
@@ -90,7 +95,9 @@ let test_rotating_leaders () =
 let test_rotation_under_crashes () =
   let params =
     {
-      (Cluster.params_for_f ~clients:24 3) with
+      (Cluster.params_for_f
+         ~workload:(Marlin_workload.Workload.closed_loop ~clients:24) 3)
+      with
       Cluster.rotation = Some 0.5;
       base_timeout = 0.4;
       seed = 11;
@@ -145,7 +152,7 @@ let test_sweep_and_peak () =
       ~client_counts:[ 4; 16; 64 ]
   in
   Alcotest.(check int) "three points" 3 (List.length results);
-  let peak = Experiment.peak results in
+  let peak, _within = Experiment.peak results in
   Alcotest.(check bool) "peak at higher client count" true
     (peak.Experiment.clients >= 16);
   (* more clients, more throughput (far from saturation at this scale) *)
@@ -154,7 +161,14 @@ let test_sweep_and_peak () =
     (List.sort compare tputs = tputs)
 
 let test_larger_cluster () =
-  let params = { (Cluster.params_for_f ~clients:32 3) with Cluster.seed = 3 } in
+  let params =
+    {
+      (Cluster.params_for_f
+         ~workload:(Marlin_workload.Workload.closed_loop ~clients:32) 3)
+      with
+      Cluster.seed = 3;
+    }
+  in
   let r = Experiment.run_throughput marlin ~params ~warmup:1.0 ~duration:3.0 in
   Alcotest.(check bool) "n=10 agreement" true r.Experiment.agreement;
   Alcotest.(check bool) "n=10 commits" true (r.Experiment.throughput > 0.)

@@ -93,6 +93,26 @@ let test_wall_clock () =
     (anchors "wall-clock"
        (lint ~path:"lib/store/wal.ml" "let now () = Unix.gettimeofday ()\n"))
 
+(* ---------- workload-rng ---------- *)
+
+let test_workload_rng () =
+  (* lib/workload must draw only from caller-supplied Marlin_sim.Rng
+     streams: even Random.State (legal elsewhere) is flagged there *)
+  check_anchors "Random.State flagged under lib/workload" [ (1, 11) ]
+    (anchors "workload-rng"
+       (lint ~path:"lib/workload/arrival.ml" "let r st = Random.State.int st 10\n"));
+  check_anchors "global Random flagged under lib/workload" [ (1, 11) ]
+    (anchors "workload-rng"
+       (lint ~path:"lib/workload/arrival.ml" "let r () = Random.float 1.0\n"));
+  check_anchors "Rng streams are the sanctioned source" []
+    (anchors "workload-rng"
+       (lint ~path:"lib/workload/arrival.ml"
+          "let r rng = Marlin_sim.Rng.float rng 1.0\n"));
+  (* scope: the rule applies only under lib/workload *)
+  check_anchors "lib/runtime is out of scope" []
+    (anchors "workload-rng"
+       (lint ~path:"lib/runtime/cluster.ml" "let r st = Random.State.int st 10\n"))
+
 (* ---------- float-equality ---------- *)
 
 let test_float_equality () =
@@ -267,9 +287,11 @@ let test_broken_source_reported () =
     (Engine.errors r > 0)
 
 let test_rule_inventory () =
-  Alcotest.(check int) "seven rules ship" 7 (List.length Rules.all);
+  Alcotest.(check int) "eight rules ship" 8 (List.length Rules.all);
   Alcotest.(check bool) "find knows poly-compare" true
     (Option.is_some (Rules.find "poly-compare"));
+  Alcotest.(check bool) "find knows workload-rng" true
+    (Option.is_some (Rules.find "workload-rng"));
   Alcotest.(check bool) "find rejects unknowns" true
     (Option.is_none (Rules.find "no-such-rule"))
 
@@ -278,6 +300,7 @@ let suite =
     ("poly-compare", `Quick, test_poly_compare);
     ("hashtbl-order", `Quick, test_hashtbl_order);
     ("wall-clock", `Quick, test_wall_clock);
+    ("workload-rng", `Quick, test_workload_rng);
     ("float-equality", `Quick, test_float_equality);
     ("toplevel-state", `Quick, test_toplevel_state);
     ("suppression comments", `Quick, test_suppression);

@@ -25,7 +25,7 @@ let contains hay needle =
 let observed_run ?(trace = false) proto =
   let obs = Obs.Run.create ~trace ~n:4 () in
   let params =
-    { (Cluster.params_for_f ~clients:1 1) with Cluster.seed = 9; obs = Some obs }
+    { (Cluster.params_for_f ~workload:(Marlin_workload.Workload.closed_loop ~clients:1) 1) with Cluster.seed = 9; obs = Some obs }
   in
   let r = Experiment.run_throughput proto ~params ~warmup:0.5 ~duration:6.0 in
   (obs, r)
@@ -211,8 +211,8 @@ let test_metrics_only_sink_alloc_bound () =
 
 let test_exporters () =
   let obs, _ = observed_run ~trace:true basic_marlin in
-  (* CSV: unified 14-column header, label-prefixed data rows *)
-  Alcotest.(check int) "header has 14 columns" 14
+  (* CSV: unified 15-column header, label-prefixed data rows *)
+  Alcotest.(check int) "header has 15 columns" 15
     (List.length (String.split_on_char ',' Obs.Run.metrics_csv_header));
   let csv = Obs.Run.metrics_csv ~label:"m" obs in
   let lines = String.split_on_char '\n' (String.trim csv) in
@@ -220,7 +220,7 @@ let test_exporters () =
   List.iter
     (fun l ->
       Alcotest.(check bool) "row labelled" true (String.sub l 0 2 = "m,");
-      Alcotest.(check int) "row has 14 columns" 14
+      Alcotest.(check int) "row has 15 columns" 15
         (List.length (String.split_on_char ',' l)))
     lines;
   Alcotest.(check bool) "per-kind vote counters" true

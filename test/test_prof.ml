@@ -210,7 +210,7 @@ let test_critical_path_analysis () =
 (* ---------- real runs: the paper's phase counts, exactly ---------- *)
 
 let instrumented proto =
-  let params = { (Cluster.params_for_f ~clients:1 1) with Cluster.seed = 9 } in
+  let params = { (Cluster.params_for_f ~workload:(Marlin_workload.Workload.closed_loop ~clients:1) 1) with Cluster.seed = 9 } in
   Experiment.run_instrumented proto ~params ~warmup:0.5 ~duration:4.0
     ~trace:true ()
 

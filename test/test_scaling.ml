@@ -25,7 +25,7 @@ let params_for n =
     Cluster.default_params with
     Cluster.n;
     f;
-    clients = 8;
+    workload = Marlin_workload.Workload.closed_loop ~clients:8;
     base_timeout;
     max_timeout = 8. *. base_timeout;
   }

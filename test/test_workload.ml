@@ -1,0 +1,224 @@
+(* Tests for the open-loop workload engine: arrival-process constructors
+   and samplers, the typed Workload.t, the run_open_loop driver with its
+   drop accounting, the knee finder, and end-to-end determinism. *)
+
+module Cluster = Marlin_runtime.Cluster
+module Mempool = Marlin_runtime.Mempool
+module Experiment = Marlin_runtime.Experiment
+module Workload = Marlin_workload.Workload
+module Arrival = Marlin_workload.Arrival
+module Rng = Marlin_sim.Rng
+module Stats = Marlin_analysis.Stats
+
+let marlin : Marlin_core.Consensus_intf.protocol =
+  (module Marlin_core.Chained_marlin)
+
+(* ---------- constructors validate ---------- *)
+
+let raises_invalid f =
+  match f () with
+  | exception Invalid_argument _ -> true
+  | _ -> false
+
+let test_constructor_validation () =
+  Alcotest.(check bool) "poisson rate 0" true
+    (raises_invalid (fun () -> Arrival.poisson ~rate:0.));
+  Alcotest.(check bool) "poisson rate nan" true
+    (raises_invalid (fun () -> Arrival.poisson ~rate:Float.nan));
+  Alcotest.(check bool) "mmpp negative dwell" true
+    (raises_invalid (fun () ->
+         Arrival.mmpp ~rate_low:10. ~rate_high:100. ~dwell_low:(-1.)
+           ~dwell_high:1.));
+  Alcotest.(check bool) "ramp zero duration" true
+    (raises_invalid (fun () -> Arrival.ramp ~rate_from:1. ~rate_to:2. ~over:0.));
+  Alcotest.(check bool) "closed loop needs a client" true
+    (raises_invalid (fun () -> Workload.closed_loop ~clients:0));
+  Alcotest.(check bool) "open loop needs keys" true
+    (raises_invalid (fun () ->
+         Workload.open_loop ~arrival:(Arrival.poisson ~rate:1.) ~key_space:0 ()));
+  Alcotest.(check bool) "open loop needs sources" true
+    (raises_invalid (fun () ->
+         Workload.open_loop ~sources:0 ~arrival:(Arrival.poisson ~rate:1.)
+           ~key_space:1 ()));
+  Alcotest.(check bool) "mempool capacity < 1" true
+    (raises_invalid (fun () -> Mempool.Config.make ~capacity:0 ()));
+  Alcotest.(check bool) "with_rate on a closed loop" true
+    (raises_invalid (fun () ->
+         Workload.with_rate (Workload.closed_loop ~clients:4) ~rate:10.))
+
+(* ---------- samplers: determinism and mean rate ---------- *)
+
+let arrivals arrival ~seed ~until =
+  let s = Arrival.Sampler.create arrival ~rng:(Rng.create ~seed) in
+  let rec go acc now =
+    let t = Arrival.Sampler.next s ~now in
+    if t > until then List.rev acc else go (t :: acc) t
+  in
+  go [] 0.
+
+let test_sampler_determinism () =
+  List.iter
+    (fun arrival ->
+      let a = arrivals arrival ~seed:42 ~until:20. in
+      let b = arrivals arrival ~seed:42 ~until:20. in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: same seed, same instants" (Arrival.label arrival))
+        true (a = b);
+      Alcotest.(check bool) "instants strictly increase" true
+        (List.for_all2 (fun x y -> x < y) a (List.tl a @ [ infinity ]));
+      let c = arrivals arrival ~seed:43 ~until:20. in
+      Alcotest.(check bool) "different seed differs" true (a <> c))
+    [
+      Arrival.poisson ~rate:200.;
+      Arrival.mmpp ~rate_low:50. ~rate_high:500. ~dwell_low:0.5 ~dwell_high:0.2;
+      Arrival.ramp ~rate_from:50. ~rate_to:400. ~over:5.;
+    ]
+
+let test_sampler_mean_rate () =
+  (* over a long horizon the realized rate converges on mean_rate *)
+  List.iter
+    (fun arrival ->
+      let horizon = 200. in
+      let n = List.length (arrivals arrival ~seed:7 ~until:horizon) in
+      let expect = Arrival.mean_rate arrival *. horizon in
+      let realized = float_of_int n in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %d arrivals vs %.0f expected" (Arrival.label arrival)
+           n expect)
+        true
+        (Float.abs (realized -. expect) < 0.08 *. expect))
+    [
+      Arrival.poisson ~rate:100.;
+      Arrival.mmpp ~rate_low:40. ~rate_high:400. ~dwell_low:1.0 ~dwell_high:0.5;
+    ]
+
+let test_with_mean_rate () =
+  let a =
+    Arrival.mmpp ~rate_low:40. ~rate_high:400. ~dwell_low:1.0 ~dwell_high:0.5
+  in
+  let b = Arrival.with_mean_rate a ~rate:1000. in
+  Alcotest.(check bool) "retargeted mean" true
+    (Float.abs (Arrival.mean_rate b -. 1000.) < 1e-6);
+  let w =
+    Workload.open_loop ~arrival:(Arrival.poisson ~rate:10.) ~key_space:100 ()
+  in
+  Alcotest.(check (option (float 1e-9))) "workload offered_rate follows"
+    (Some 250.)
+    (Workload.offered_rate (Workload.with_rate w ~rate:250.))
+
+(* ---------- run_open_loop ---------- *)
+
+let open_params ?(capacity = 100_000) ?(rate = 400.) () =
+  {
+    (Cluster.params_for_f
+       ~workload:
+         (Workload.open_loop ~arrival:(Arrival.poisson ~rate) ~key_space:10_000
+            ~sources:4 ())
+       1)
+    with
+    Cluster.seed = 11;
+    mempool = Mempool.Config.make ~capacity ();
+  }
+
+let test_open_loop_run () =
+  let r =
+    Experiment.run_open_loop marlin ~params:(open_params ()) ~warmup:1.0
+      ~duration:4.0
+  in
+  Alcotest.(check bool) "agreement" true r.Experiment.agreement;
+  Alcotest.(check bool) "arrivals generated" true (r.Experiment.generated > 0);
+  Alcotest.(check bool) "goodput positive" true (r.Experiment.goodput > 0.);
+  (* uncontended: offered ~400/s against a ~15k/s cluster *)
+  Alcotest.(check int) "no drops at light load" 0
+    (r.Experiment.shed + r.Experiment.rejected);
+  Alcotest.(check bool) "drop rate zero" true (r.Experiment.drop_rate < 1e-12);
+  Alcotest.(check int) "accounting: sent + shed = generated"
+    r.Experiment.generated
+    (r.Experiment.sent + r.Experiment.shed);
+  Alcotest.(check bool) "goodput tracks offered at light load" true
+    (Float.abs (r.Experiment.goodput -. r.Experiment.offered)
+    < 0.10 *. r.Experiment.offered);
+  Alcotest.(check bool) "latency tail ordered" true
+    (r.Experiment.latency.Stats.p50 <= r.Experiment.latency.Stats.p99
+    && r.Experiment.latency.Stats.p99 <= r.Experiment.latency.Stats.p999)
+
+let test_open_loop_overload_drops () =
+  (* a tiny pool under 30x the sustainable load must shed, and the pool
+     bound must hold *)
+  let capacity = 50 in
+  let r =
+    Experiment.run_open_loop marlin
+      ~params:(open_params ~capacity ~rate:20_000. ())
+      ~warmup:1.0 ~duration:3.0
+  in
+  Alcotest.(check bool) "drops past saturation" true
+    (r.Experiment.drop_rate > 0.);
+  Alcotest.(check bool) "occupancy bounded by capacity" true
+    (r.Experiment.peak_occupancy <= capacity);
+  Alcotest.(check bool) "goodput plateaus below offered" true
+    (r.Experiment.goodput < r.Experiment.offered)
+
+let test_open_loop_requires_open () =
+  Alcotest.(check bool) "closed-loop params rejected" true
+    (raises_invalid (fun () ->
+         Experiment.run_open_loop marlin
+           ~params:(Cluster.params_for_f 1)
+           ~warmup:0.5 ~duration:1.0))
+
+let test_open_loop_deterministic () =
+  let run () =
+    Experiment.Result.open_loop_to_json
+      (Experiment.run_open_loop marlin
+         ~params:(open_params ~rate:2_000. ())
+         ~warmup:1.0 ~duration:3.0)
+  in
+  Alcotest.(check string) "same seed, byte-identical record" (run ()) (run ())
+
+(* ---------- knee ---------- *)
+
+let test_knee () =
+  let mk offered goodput p99 =
+    {
+      Experiment.workload = "w";
+      offered;
+      goodput;
+      generated = 0;
+      sent = 0;
+      shed = 0;
+      rejected = 0;
+      drop_rate = 0.;
+      peak_occupancy = 0;
+      latency = { (Stats.summarize []) with Stats.p99 };
+      agreement = true;
+    }
+  in
+  (* the classic shape: goodput rises, then saturates as p99 blows up *)
+  let curve =
+    [ mk 100. 99. 0.2; mk 200. 198. 0.4; mk 400. 310. 2.0; mk 800. 300. 4.0 ]
+  in
+  let k, cap = Experiment.knee curve in
+  Alcotest.(check (float 1e-9)) "knee at the last sustainable point" 198.
+    k.Experiment.goodput;
+  Alcotest.(check bool) "sustainable" true (cap = `Within_cap);
+  let k', cap' = Experiment.knee ~latency_cap:0.1 curve in
+  Alcotest.(check bool) "all saturated -> fallback flagged" true
+    (cap' = `Fallback);
+  Alcotest.(check (float 1e-9)) "fallback is the overall max" 310.
+    k'.Experiment.goodput;
+  Alcotest.(check bool) "empty raises" true
+    (raises_invalid (fun () -> Experiment.knee []))
+
+let suite =
+  [
+    ("constructors validate", `Quick, test_constructor_validation);
+    ("samplers are deterministic", `Quick, test_sampler_determinism);
+    ("samplers hit their mean rate", `Quick, test_sampler_mean_rate);
+    ("with_mean_rate retargets", `Quick, test_with_mean_rate);
+    ("open-loop run measures", `Quick, test_open_loop_run);
+    ("overload sheds, bound holds", `Quick, test_open_loop_overload_drops);
+    ("closed-loop params rejected", `Quick, test_open_loop_requires_open);
+    ("open-loop runs are deterministic", `Quick, test_open_loop_deterministic);
+    ("knee finder", `Quick, test_knee);
+  ]
+
+let () = Alcotest.run "workload" [ ("workload", suite) ]

@@ -15,9 +15,16 @@
 # broadcast fan-out or calendar-queue regression fails CI even when the
 # small-n smoke numbers are unchanged.
 #
+# The load gate (`dune build @bench-load`) sweeps open-loop offered load
+# (Poisson arrivals, 1M client keys) over the bounded mempool for marlin
+# and hotstuff at n in {4, 32}, and diffs goodput, drop accounting and
+# tail latency against its baseline — deterministic counts exact, timing
+# within tolerance, the sweep under a wall budget.
+#
 # To re-bless the baselines after an intentional performance change:
 #   dune exec bench/main.exe -- smoke --json bench/baselines/BENCH_smoke.json
 #   dune exec bench/main.exe -- scaling --smoke --json bench/baselines/BENCH_scaling.json
+#   dune exec bench/main.exe -- load --smoke --json bench/baselines/BENCH_load.json
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -26,5 +33,6 @@ dune runtest
 dune build @lint
 dune build @bench-smoke
 dune build @bench-scaling
+dune build @bench-load
 
-echo "ci: build + tests + lint + bench-smoke + bench-scaling gates all green"
+echo "ci: build + tests + lint + bench-smoke + bench-scaling + bench-load gates all green"

@@ -1,0 +1,3 @@
+(* Fixture: trips workload-rng (Random.State is legal elsewhere, but
+   lib/workload must draw from caller-supplied Marlin_sim.Rng streams). *)
+let draw st = Random.State.int st 10

@@ -1,0 +1,1 @@
+val draw : Random.State.t -> int
