@@ -78,6 +78,7 @@ let hotstuff = Registry.find_exn "chained-hotstuff"
 let basic_marlin = Registry.find_exn "marlin"
 let basic_hotstuff = Registry.find_exn "hotstuff"
 let pbft = Registry.find_exn "pbft"
+let twophase_insecure = Registry.find_exn "twophase-insecure"
 
 let section title = Printf.printf "\n=== %s ===\n%!" title
 
@@ -721,8 +722,11 @@ let smoke () =
   List.rev !recs
 
 (* Post-hoc span analysis of a JSONL trace file (the output of
-   [observe --trace FILE]), one critical-path report per run label. *)
-let spans ~trace_file () =
+   [observe --trace FILE]), one critical-path report per run label. With
+   --windows WIDTH the spans are additionally binned into fixed windows of
+   WIDTH simulated seconds — the same windowed segment attribution a live
+   [attribution] run computes, but over any recorded trace. *)
+let spans ~trace_file ~windows () =
   let path =
     match trace_file with
     | Some p -> p
@@ -730,13 +734,44 @@ let spans ~trace_file () =
         prerr_endline "spans needs --trace FILE (a JSONL trace to analyse)";
         exit 2
   in
+  let width =
+    match windows with
+    | None -> None
+    | Some s -> (
+        match float_of_string_opt s with
+        | Some w when w > 0. -> Some w
+        | _ ->
+            Printf.eprintf "--windows wants a positive float (seconds), got %S\n"
+              s;
+            exit 2)
+  in
   section (Printf.sprintf "Causal spans: %s" path);
   List.iter
     (fun (run, events) ->
       let label = if run = "" then Filename.basename path else run in
-      let cp = Obs.Critical_path.analyze ~label (Obs.Span.reconstruct events) in
+      let sp = Obs.Span.reconstruct events in
+      let cp = Obs.Critical_path.analyze ~label sp in
       Format.printf "%a%!" Obs.Critical_path.pp cp;
-      Recorder.add ~label (Obs.Critical_path.to_json cp))
+      match width with
+      | None -> Recorder.add ~label (Obs.Critical_path.to_json cp)
+      | Some width ->
+          let ts = Obs.Timeseries.create ~width () in
+          (* commits (and their whole-span latency) come from the spans
+             themselves — a recorded trace has no live completion feed *)
+          List.iter
+            (fun (s : Obs.Span.t) ->
+              if s.Obs.Span.complete then
+                Obs.Timeseries.note_completion ts ~time:s.Obs.Span.commit_time
+                  ~latency:(Obs.Span.total s))
+            sp;
+          Obs.Timeseries.bin_segments ts sp;
+          List.iter
+            (fun w -> Format.printf "  %a@." Obs.Timeseries.pp_window w)
+            (Obs.Timeseries.windows ts);
+          Recorder.add ~label
+            (Printf.sprintf {|{"critical_path":%s,"timeseries":%s}|}
+               (Obs.Critical_path.to_json cp)
+               (Obs.Timeseries.to_json ~label ts)))
     (Obs.Trace_reader.runs (Obs.Trace_reader.read_file path))
 
 let read_all path =
@@ -1305,7 +1340,17 @@ let load ~smoke () =
                (cap = `Within_cap)
                (Experiment.Result.open_loop_to_json k)))
         load_ns)
-    [ ("marlin", marlin); ("hotstuff", hotstuff) ];
+    (* chained marlin/hotstuff first, under their PR 7 labels, so the
+       records they produce stay byte-identical across the extension to
+       the full registry (every point runs in its own fresh cluster) *)
+    [
+      ("marlin", marlin);
+      ("hotstuff", hotstuff);
+      ("basic-marlin", basic_marlin);
+      ("basic-hotstuff", basic_hotstuff);
+      ("pbft", pbft);
+      ("twophase-insecure", twophase_insecure);
+    ];
   List.rev !recs
 
 (* Regression gate over the committed load baseline, scaling-regress
@@ -1455,6 +1500,298 @@ let load_regress ~baseline ~tolerance ~budget () =
   !failures
 
 (* ------------------------------------------------------------------ *)
+(* Attribution: what breaks first at the knee                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The join of the span profiler and the offered-load knee: for every
+   registry protocol at n in {4, 32}, locate the knee with a cheap
+   untraced ladder, then re-run traced + windowed at the knee rate and
+   just past it, and classify the binding resource (cpu / serialize /
+   nic-queue / propagate / quorum-wait / mempool-backpressure) from the
+   per-window segment shares and the drop mix. Deterministic, so --json
+   output is byte-identical across runs (wall pinned by
+   [Recorder.fixed_wall]). *)
+
+let attribution_ns = [ 4; 32 ]
+
+(* every registry protocol, but keep the bench's canonical display order:
+   the chained pair first (the headline comparison), then the rest *)
+let attribution_protocols () =
+  let canonical =
+    [ "chained-marlin"; "chained-hotstuff"; "marlin"; "hotstuff" ]
+  in
+  let rest =
+    List.filter (fun (name, _) -> not (List.mem name canonical))
+      (Registry.all ())
+  in
+  List.map (fun name -> (name, Registry.find_exn name)) canonical @ rest
+
+(* The acceptance invariant of the windowed attribution: within every
+   window the five component columns sum to the attributed span seconds
+   (the binning splits segments across boundaries exactly). *)
+let check_window_invariant ~label ts =
+  List.iter
+    (fun (w : Obs.Timeseries.window) ->
+      let sum =
+        List.fold_left
+          (fun acc c -> acc +. Obs.Timeseries.component_seconds w c)
+          0. Obs.Span.all_components
+      in
+      if Float.abs (sum -. w.Obs.Timeseries.attributed) > 1e-9 then begin
+        Printf.eprintf
+          "%s: window %d: segment sum %.12f s != attributed %.12f s\n" label
+          w.Obs.Timeseries.index sum w.Obs.Timeseries.attributed;
+        exit 1
+      end)
+    (Obs.Timeseries.windows ts)
+
+let attribution ~smoke () =
+  let warmup = 0.5 and duration = if smoke then 2.0 else 8.0 in
+  let window = 0.25 in
+  section
+    (Printf.sprintf
+       "Attribution: what breaks first at the knee (window %.2f s%s)" window
+       (if smoke then "; smoke" else ""));
+  let recs = ref [] in
+  let put label data =
+    recs := (label, data) :: !recs;
+    Recorder.add ~label data
+  in
+  let rows = ref [] in
+  List.iter
+    (fun (name, proto) ->
+      List.iter
+        (fun n ->
+          let params = load_params ~smoke n in
+          let a =
+            Experiment.attribute_knee ~window proto ~name ~params ~warmup
+              ~duration ~rates:(load_rates ~smoke n)
+          in
+          let label = Printf.sprintf "%s n=%d" name n in
+          check_window_invariant ~label
+            a.Experiment.at_knee.Experiment.timeseries;
+          check_window_invariant ~label
+            a.Experiment.past_knee.Experiment.timeseries;
+          Format.printf "%-22s knee=%7.0f op/s %s  at-knee %a@."
+            label a.Experiment.knee_point.Experiment.goodput
+            (if a.Experiment.sustainable then "   " else "(!)")
+            Obs.Bottleneck.pp_verdict
+            a.Experiment.at_knee.Experiment.verdict;
+          Format.printf "%-22s %38s past-knee %a@." "" ""
+            Obs.Bottleneck.pp_verdict
+            a.Experiment.past_knee.Experiment.verdict;
+          rows := (label, a) :: !rows;
+          put label (Experiment.attribution_to_json a))
+        attribution_ns)
+    (attribution_protocols ());
+  (* headline: one line per protocol/n — the resource that binds past the
+     sustainable rate, with its share of the critical path there *)
+  Printf.printf "\n%-22s | %10s %-5s | %-20s %s\n" "what breaks first"
+    "knee op/s" "sust." "past-knee verdict" "dominant share";
+  List.iter
+    (fun (label, (a : Experiment.attribution)) ->
+      let v = a.Experiment.past_knee.Experiment.verdict in
+      let dominant =
+        List.fold_left
+          (fun (bc, bs) (c, s) ->
+            if s > bs then (Obs.Span.component_name c, s) else (bc, bs))
+          ("-", 0.) v.Obs.Bottleneck.evidence.Obs.Bottleneck.shares
+      in
+      Printf.printf "%-22s | %10.0f %-5s | %-20s %s=%.0f%%\n" label
+        a.Experiment.knee_point.Experiment.goodput
+        (if a.Experiment.sustainable then "yes" else "NO")
+        (Obs.Bottleneck.name (Experiment.what_breaks_first a))
+        (fst dominant)
+        (100. *. snd dominant))
+    (List.rev !rows);
+  List.rev !recs
+
+(* Regression gate over the committed attribution baseline: verdicts are
+   behaviour and must match exactly; segment shares, knee goodput and the
+   latency tail get tolerances; the whole sweep sits under a wall
+   budget. *)
+let attribution_regress ~baseline ~tolerance ~budget () =
+  let module J = Obs.Json_lite in
+  let path =
+    Option.value ~default:"bench/baselines/BENCH_attribution.json" baseline
+  in
+  let tol =
+    match tolerance with
+    | None -> 0.15
+    | Some s -> (
+        match float_of_string_opt s with
+        | Some t when t >= 0. -> t
+        | _ ->
+            Printf.eprintf "--tolerance wants a non-negative float, got %S\n" s;
+            exit 2)
+  in
+  let budget =
+    match budget with
+    | None -> 240.
+    | Some s -> (
+        match float_of_string_opt s with
+        | Some b when b > 0. -> b
+        | _ ->
+            Printf.eprintf "--budget wants a positive float (seconds), got %S\n"
+              s;
+            exit 2)
+  in
+  section
+    (Printf.sprintf
+       "Attribution regression gate: fresh smoke sweep vs %s (tolerance \
+        %.0f%%, budget %.0f s)"
+       path (100. *. tol) budget);
+  let text =
+    try read_all path
+    with Sys_error e ->
+      Printf.eprintf
+        "cannot read baseline: %s\n\
+         (record one with: bench/main.exe -- attribution --smoke --json %s)\n"
+        e path;
+      exit 2
+  in
+  let doc =
+    match J.parse text with
+    | Ok d -> d
+    | Error e ->
+        Printf.eprintf "%s: %s\n" path e;
+        exit 2
+  in
+  (match J.string_at [ "schema" ] doc with
+  | Some s when s = Recorder.schema -> ()
+  | _ ->
+      Printf.eprintf "%s: not a %S document\n" path Recorder.schema;
+      exit 2);
+  let baseline_records =
+    match Option.bind (J.member "records" doc) J.to_list with
+    | Some l ->
+        List.filter_map
+          (fun r ->
+            match (J.string_at [ "target" ] r, J.string_at [ "label" ] r) with
+            | Some "attribution", Some label ->
+                Option.map (fun d -> (label, d)) (J.member "data" r)
+            | _ -> None)
+          l
+    | None -> []
+  in
+  if baseline_records = [] then begin
+    Printf.eprintf "%s: no attribution records to compare against\n" path;
+    exit 2
+  end;
+  let t0 = Unix.gettimeofday () in
+  let fresh = attribution ~smoke:true () in
+  let wall = Unix.gettimeofday () -. t0 in
+  let fresh_tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (label, data) ->
+      match J.parse data with
+      | Ok d -> Hashtbl.replace fresh_tbl label d
+      | Error _ -> ())
+    fresh;
+  (* verdicts are typed behaviour: exact. Shares/goodput/latency: timing *)
+  let share_checks point =
+    List.map
+      (fun comp ->
+        ( [ point; "verdict"; "shares"; Obs.Span.component_name comp ],
+          0.10 ))
+      Obs.Span.all_components
+  in
+  let float_checks =
+    [
+      ([ "n" ], 1e-9);
+      ([ "knee"; "offered" ], 1e-6);
+      ([ "knee"; "goodput" ], tol);
+      ([ "at_knee"; "point"; "goodput" ], tol);
+      ([ "at_knee"; "verdict"; "drop_rate" ], 0.05);
+      ([ "past_knee"; "point"; "goodput" ], tol);
+      ([ "past_knee"; "verdict"; "drop_rate" ], 0.05);
+      ([ "past_knee"; "verdict"; "latency_p99" ], tol);
+    ]
+    @ share_checks "at_knee" @ share_checks "past_knee"
+  in
+  let string_checks =
+    [
+      [ "verdict" ];
+      [ "at_knee"; "verdict"; "bottleneck" ];
+      [ "past_knee"; "verdict"; "bottleneck" ];
+    ]
+  in
+  let checked = ref 0 and failures = ref 0 in
+  Printf.printf "\n";
+  List.iter
+    (fun (label, bdata) ->
+      match Hashtbl.find_opt fresh_tbl label with
+      | None ->
+          incr failures;
+          Printf.printf "  FAIL %-28s missing from the fresh sweep\n" label
+      | Some fdata ->
+          List.iter
+            (fun spath ->
+              let name = String.concat "." spath in
+              match J.string_at spath bdata with
+              | None -> ()
+              | Some b -> (
+                  match J.string_at spath fdata with
+                  | Some f when f = b -> incr checked
+                  | Some f ->
+                      incr failures;
+                      Printf.printf
+                        "  FAIL %-28s %-28s baseline %S fresh %S (verdicts \
+                         are exact)\n"
+                        label name b f
+                  | None ->
+                      incr failures;
+                      Printf.printf "  FAIL %-28s %-28s missing in fresh run\n"
+                        label name))
+            string_checks;
+          List.iter
+            (fun (fpath, ctol) ->
+              match J.float_at fpath bdata with
+              | None -> ()
+              | Some b -> (
+                  let name = String.concat "." fpath in
+                  match J.float_at fpath fdata with
+                  | None ->
+                      incr failures;
+                      Printf.printf "  FAIL %-28s %-28s missing in fresh run\n"
+                        label name
+                  | Some f ->
+                      incr checked;
+                      (* shares are fractions of 1: absolute tolerance; the
+                         rest relative, scaled as load-regress does *)
+                      let scale =
+                        if List.exists (fun seg -> seg = "shares") fpath then 1.
+                        else Float.max (Float.abs b) 1e-9
+                      in
+                      if Float.abs (f -. b) > (ctol *. scale) +. 1e-12
+                      then begin
+                        incr failures;
+                        Printf.printf
+                          "  FAIL %-28s %-28s baseline %-12.6g fresh %-12.6g \
+                           (%+.1f%%, tolerance %.1f%%)\n"
+                          label name b f
+                          (100. *. (f -. b) /. scale)
+                          (100. *. ctol)
+                      end))
+            float_checks)
+    baseline_records;
+  if wall > budget then begin
+    incr failures;
+    Printf.printf
+      "  FAIL wall-time budget: fresh sweep took %.1f s, budget %.1f s (the \
+       attribution path got slower)\n"
+      wall budget
+  end;
+  Printf.printf
+    "attribution-regress: %d records, %d metrics checked, %.1f s of %.0f s \
+     budget, %d violation%s -> %s\n"
+    (List.length baseline_records)
+    !checked wall budget !failures
+    (if !failures = 1 then "" else "s")
+    (if !failures = 0 then "PASS" else "FAIL");
+  !failures
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1477,6 +1814,7 @@ let () =
     |> List.filter (fun a -> a <> "--full" && a <> "--smoke")
   in
   let trace_file, args = take_opt "--trace" args in
+  let windows_flag, args = take_opt "--windows" args in
   let metrics_file, args = take_opt "--metrics-out" args in
   let json_file, args = take_opt "--json" args in
   let baseline, args = take_opt "--baseline" args in
@@ -1510,7 +1848,7 @@ let () =
     | "smoke" ->
         Recorder.set_target "smoke";
         ignore (smoke () : (string * string) list)
-    | "spans" -> spans ~trace_file ()
+    | "spans" -> spans ~trace_file ~windows:windows_flag ()
     | "regress" ->
         Recorder.set_target "smoke";
         (* the fresh records keep the smoke target so a --json of this
@@ -1532,15 +1870,27 @@ let () =
         (* as with regress: a --json of this run is a re-blessed baseline *)
         regress_failures :=
           !regress_failures + load_regress ~baseline ~tolerance ~budget ()
+    | "attribution" ->
+        Recorder.fixed_wall := true;
+        ignore (attribution ~smoke:smoke_flag () : (string * string) list)
+    | "attribution-regress" ->
+        Recorder.set_target "attribution";
+        Recorder.fixed_wall := true;
+        (* as with regress: a --json of this run is a re-blessed baseline *)
+        regress_failures :=
+          !regress_failures
+          + attribution_regress ~baseline ~tolerance ~budget ()
     | other ->
         Printf.eprintf
           "unknown target %S (try: table1 fig10a..fig10f fig10g fig10h \
            fig10i fig10j related-work faults ablate-sigs ablate-shadow \
            ablate-batch fig2-demo micro observe smoke spans regress scaling \
-           scaling-regress load load-regress all; observe takes \
-           --trace FILE and --metrics-out FILE, spans reads --trace FILE, \
-           regress takes --baseline FILE and --tolerance X, scaling and \
-           load take --smoke, scaling-regress and load-regress add \
+           scaling-regress load load-regress attribution \
+           attribution-regress all; observe takes --trace FILE and \
+           --metrics-out FILE, spans reads --trace FILE and optionally \
+           --windows WIDTH, regress takes --baseline FILE and \
+           --tolerance X, scaling, load and attribution take --smoke, \
+           scaling-regress, load-regress and attribution-regress add \
            --budget SECONDS, any run takes --json FILE)\n"
           other;
         exit 2

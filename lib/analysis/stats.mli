@@ -63,4 +63,9 @@ module Reservoir : sig
       percentiles come from the kept sample. *)
 
   val clear : t -> unit
+
+  val samples : t -> float list
+  (** The kept sample, insertion order (a uniform draw over the stream once
+      the reservoir has overflowed). For pooling several reservoirs into
+      one summary — e.g. per-window latencies into a run-level tail. *)
 end

@@ -4,19 +4,25 @@ module Message = Marlin_types.Message
 type t = {
   trace : Trace.buffer option;
   metrics : Metrics.t array;
+  ts : Timeseries.t option;
 }
 
-let create ?(trace = false) ~n () =
+let create ?(trace = false) ?windows ~n () =
   {
     trace = (if trace then Some (Trace.create_buffer ()) else None);
     metrics = Array.init n (fun replica -> Metrics.create ~replica);
+    ts = (match windows with
+         | None -> None
+         | Some width -> Some (Timeseries.create ~width ()));
   }
 
 let sink t ~clock ~replica =
-  Sink.make ~replica ~clock ?trace:t.trace ~metrics:t.metrics.(replica) ()
+  Sink.make ~replica ~clock ?trace:t.trace ?ts:t.ts
+    ~metrics:t.metrics.(replica) ()
 
 let handle t ~clock ~replica = Some (sink t ~clock ~replica)
 let metrics t = t.metrics
+let timeseries t = t.ts
 
 let trace_events t =
   match t.trace with None -> [] | Some b -> Trace.events b
@@ -26,6 +32,11 @@ let trace_events t =
 let net_queued t ~time ~id ~src ~dst ~size ~ready ~depart ~tx m =
   if src >= 0 && src < Array.length t.metrics then
     Metrics.count_sent t.metrics.(src) ~size m;
+  (match t.ts with
+  | None -> ()
+  | Some ts ->
+      (* uplink-FIFO wait ahead of this message: CPU handoff to departure *)
+      Timeseries.note_nic_backlog ts ~time:ready ~backlog:(depart -. ready));
   match t.trace with
   | None -> ()
   | Some b ->

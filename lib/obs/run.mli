@@ -7,13 +7,26 @@
 
 type t
 
-val create : ?trace:bool -> n:int -> unit -> t
+val create : ?trace:bool -> ?windows:float -> n:int -> unit -> t
 (** [n] replicas. [trace] (default [false]) allocates the event buffer —
-    metrics are always on for a created run. *)
+    metrics are always on for a created run. [windows], when given,
+    allocates a shared {!Timeseries.t} of that window width (simulated
+    seconds) that the sinks and runtime hooks feed; when absent (the
+    default) no window state exists and every timeseries hook is a single
+    branch. *)
 
 val sink : t -> clock:(unit -> float) -> replica:int -> Sink.t
 val handle : t -> clock:(unit -> float) -> replica:int -> Sink.handle
 val metrics : t -> Metrics.t array
+
+val timeseries : t -> Timeseries.t option
+(** The shared windowed timeseries, when the run was created with
+    [?windows]. Runtime call sites must match on this option {e inline}
+    and only call the [Timeseries.note_*] feeders inside the [Some]
+    branch: a wrapper hook taking float arguments would box them even on
+    the disabled path, so the guard lives at the caller — disabled runs
+    then pay exactly one branch and allocate nothing. *)
+
 val trace_events : t -> Trace.event list
 (** Oldest first; empty when tracing was off. *)
 

@@ -3,12 +3,15 @@ type t = {
   clock : unit -> float;
   trace : Trace.buffer option;
   metrics : Metrics.t;
+  ts : Timeseries.t option;
 }
 
 type handle = t option
 
 let none : handle = None
-let make ~replica ~clock ?trace ~metrics () = { replica; clock; trace; metrics }
+
+let make ~replica ~clock ?trace ?ts ~metrics () =
+  { replica; clock; trace; metrics; ts }
 let enabled = function None -> false | Some _ -> true
 let tracing = function None -> false | Some s -> s.trace <> None
 
@@ -112,7 +115,12 @@ let view_change_exit h ~view =
 let mempool_admission h result ~occupancy =
   match h with
   | None -> ()
-  | Some s -> Metrics.note_admission s.metrics result ~occupancy
+  | Some s -> (
+      Metrics.note_admission s.metrics result ~occupancy;
+      match s.ts with
+      | None -> ()
+      | Some ts ->
+          Timeseries.note_admission ts ~time:(s.clock ()) result ~occupancy)
 
 let timer_armed h ~view ~after ~cause =
   match h with

@@ -18,6 +18,8 @@ type t = {
   clock : unit -> float;  (** simulated time *)
   trace : Trace.buffer option;
   metrics : Metrics.t;
+  ts : Timeseries.t option;
+      (** the run's shared windowed timeseries, when enabled *)
 }
 
 type handle = t option
@@ -26,7 +28,7 @@ val none : handle
 
 val make :
   replica:int -> clock:(unit -> float) -> ?trace:Trace.buffer ->
-  metrics:Metrics.t -> unit -> t
+  ?ts:Timeseries.t -> metrics:Metrics.t -> unit -> t
 
 val enabled : handle -> bool
 
@@ -50,10 +52,10 @@ val mempool_admission :
   [ `Admitted | `Duplicate | `Rejected_full | `Rejected_client_cap ] ->
   occupancy:int ->
   unit
-(** One mempool admission decision. Metrics only — no trace event is
-    built even when tracing, because admissions are per-operation and
-    would swamp the buffer (and shift span pairing) under open-loop
-    overload. *)
+(** One mempool admission decision. Metrics (and the windowed timeseries,
+    when attached) only — no trace event is built even when tracing,
+    because admissions are per-operation and would swamp the buffer (and
+    shift span pairing) under open-loop overload. *)
 
 val timer_armed : handle -> view:int -> after:float -> cause:string -> unit
 val timer_fired : handle -> view:int -> cause:string -> unit

@@ -224,7 +224,15 @@ module Make (P : C.PROTOCOL) = struct
             | Some t0 ->
                 Hashtbl.remove os.inflight key;
                 os.completed_ops <- os.completed_ops + 1;
-                Stats.Reservoir.add os.lat (finish -. t0)
+                Stats.Reservoir.add os.lat (finish -. t0);
+                (match t.params.obs with
+                | None -> ()
+                | Some run -> (
+                    match Marlin_obs.Run.timeseries run with
+                    | None -> ()
+                    | Some ts ->
+                        Marlin_obs.Timeseries.note_completion ts ~time:finish
+                          ~latency:(finish -. t0)))
             | None -> ())
           !commits
     | _ -> ());
@@ -386,6 +394,14 @@ module Make (P : C.PROTOCOL) = struct
             cl.outstanding <- None;
             let now = Sim.now t.sim in
             cl.completed <- (now, now -. cl.submit_time) :: cl.completed;
+            (match t.params.obs with
+            | None -> ()
+            | Some run -> (
+                match Marlin_obs.Run.timeseries run with
+                | None -> ()
+                | Some ts ->
+                    Marlin_obs.Timeseries.note_completion ts ~time:now
+                      ~latency:(now -. cl.submit_time)));
             submit_op t cl
           end
         end
@@ -406,8 +422,15 @@ module Make (P : C.PROTOCOL) = struct
     let seq = (s.s_next_seq * os.nsources) + s.s_index in
     s.s_next_seq <- s.s_next_seq + 1;
     let contact = s.s_index mod t.params.n in
-    if Mempool.backpressure t.replicas.(contact).mempool then
-      os.shed <- os.shed + 1
+    if Mempool.backpressure t.replicas.(contact).mempool then begin
+      os.shed <- os.shed + 1;
+      match t.params.obs with
+      | None -> ()
+      | Some run -> (
+          match Marlin_obs.Run.timeseries run with
+          | None -> ()
+          | Some ts -> Marlin_obs.Timeseries.note_shed ts ~time:now)
+    end
     else begin
       os.sent <- os.sent + 1;
       let op = Operation.make ~client ~seq ~body:"" in

@@ -362,6 +362,114 @@ let knee ?(latency_cap = 1.0) (points : open_loop_result list) =
   | [] -> (best points, `Fallback)
   | within -> (best within, `Within_cap)
 
+(* ---------- attribution: why the knee is where it is ---------- *)
+
+let run_attributed proto ~params ~warmup ~duration ?(window = 0.25) () =
+  let obs =
+    Obs.Run.create ~trace:true ~windows:window ~n:params.Cluster.n ()
+  in
+  let r =
+    run_open_loop proto
+      ~params:{ params with Cluster.obs = Some obs }
+      ~warmup ~duration
+  in
+  (* the live feeds captured commits/drops/occupancy; the trace is folded
+     in post-hoc so every window also carries segment seconds *)
+  (match Obs.Run.timeseries obs with
+  | Some ts ->
+      Obs.Timeseries.bin_segments ts
+        (Obs.Span.reconstruct (Obs.Run.trace_events obs))
+  | None -> ());
+  (r, obs)
+
+type attributed_point = {
+  point : open_loop_result;
+  verdict : Obs.Bottleneck.verdict;
+  timeseries : Obs.Timeseries.t;
+}
+
+type attribution = {
+  protocol : string;
+  n : int;
+  knee_point : open_loop_result;
+  sustainable : bool;
+  at_knee : attributed_point;
+  past_knee : attributed_point;
+}
+
+let what_breaks_first a = a.past_knee.verdict.Obs.Bottleneck.bottleneck
+
+let attribute_knee ?(latency_cap = 1.0) ?(window = 0.25) ?drop_threshold
+    proto ~name ~params ~warmup ~duration ~rates =
+  (* cheap untraced ladder to locate the knee, then two traced + windowed
+     runs: at the knee rate and just past it *)
+  let points = open_loop_sweep proto ~params ~warmup ~duration ~rates in
+  let k, cap = knee ~latency_cap points in
+  let past_rate =
+    match
+      List.filter
+        (fun r -> r > k.offered +. 1e-9)
+        (List.sort_uniq Float.compare rates)
+    with
+    | r :: _ -> r
+    | [] -> k.offered *. 1.5
+  in
+  let attributed_at rate =
+    let params =
+      {
+        params with
+        Cluster.workload = Workload.with_rate params.Cluster.workload ~rate;
+      }
+    in
+    let r, obs = run_attributed proto ~params ~warmup ~duration ~window () in
+    let ts =
+      match Obs.Run.timeseries obs with
+      | Some ts -> ts
+      | None -> assert false (* run_attributed always attaches windows *)
+    in
+    let verdict =
+      Obs.Bottleneck.classify ?drop_threshold ~latency_cap
+        ~drop_rate:r.drop_rate ~shed:r.shed ~rejected:r.rejected
+        ~peak_occupancy:r.peak_occupancy ~latency_p99:r.latency.Stats.p99 ts
+    in
+    { point = r; verdict; timeseries = ts }
+  in
+  {
+    protocol = name;
+    n = params.Cluster.n;
+    knee_point = k;
+    sustainable = (match cap with `Within_cap -> true | `Fallback -> false);
+    at_knee = attributed_at k.offered;
+    past_knee = attributed_at past_rate;
+  }
+
+let attributed_point_to_json ?(windows = false) p =
+  Result.obj
+    ([
+       Result.fld_raw "point" (Result.open_loop_to_json p.point);
+       Result.fld_raw "verdict" (Obs.Bottleneck.verdict_to_json p.verdict);
+     ]
+    @
+    if windows then
+      [
+        Result.fld_raw "timeseries"
+          (Obs.Timeseries.to_json ~label:"windows" p.timeseries);
+      ]
+    else [])
+
+let attribution_to_json a =
+  Result.obj
+    [
+      Result.fld_str "protocol" a.protocol;
+      Result.fld_int "n" a.n;
+      Result.fld_bool "sustainable" a.sustainable;
+      Result.fld_str "verdict" (Obs.Bottleneck.name (what_breaks_first a));
+      Result.fld_raw "knee" (Result.open_loop_to_json a.knee_point);
+      Result.fld_raw "at_knee" (attributed_point_to_json a.at_knee);
+      Result.fld_raw "past_knee"
+        (attributed_point_to_json ~windows:true a.past_knee);
+    ]
+
 let run_view_change (module P : C.PROTOCOL) ~params ~force_unhappy =
   let module Cl = Cluster.Make (P) in
   let t = Cl.create params in

@@ -181,6 +181,57 @@ val knee :
     maximum is not sustainable.
     @raise Invalid_argument on the empty list. *)
 
+(* -- bottleneck attribution at the knee -- *)
+
+val run_attributed :
+  Marlin_core.Consensus_intf.protocol -> params:Cluster.params ->
+  warmup:float -> duration:float -> ?window:float -> unit ->
+  open_loop_result * Marlin_obs.Run.t
+(** {!run_open_loop} with a fresh traced run carrying a windowed
+    {!Marlin_obs.Timeseries.t} of width [window] (default 0.25 s)
+    attached (replacing any [params.obs]); after the run the span
+    profiler's critical-path segments are folded into the windows, so
+    [Marlin_obs.Run.timeseries] returns per-window commits, latency,
+    drop mix, occupancy, NIC backlog {e and} segment shares. *)
+
+type attributed_point = {
+  point : open_loop_result;
+  verdict : Marlin_obs.Bottleneck.verdict;
+  timeseries : Marlin_obs.Timeseries.t;
+}
+
+type attribution = {
+  protocol : string;  (** the caller's display name for the protocol *)
+  n : int;
+  knee_point : open_loop_result;  (** from the cheap untraced ladder *)
+  sustainable : bool;  (** was the knee within the latency cap? *)
+  at_knee : attributed_point;  (** re-run, traced, at the knee rate *)
+  past_knee : attributed_point;  (** re-run just past the knee — what broke *)
+}
+
+val what_breaks_first : attribution -> Marlin_obs.Bottleneck.t
+(** The past-knee verdict: the resource that binds once the offered load
+    exceeds the sustainable rate. *)
+
+val attribute_knee :
+  ?latency_cap:float -> ?window:float -> ?drop_threshold:float ->
+  Marlin_core.Consensus_intf.protocol -> name:string ->
+  params:Cluster.params -> warmup:float -> duration:float ->
+  rates:float list -> attribution
+(** Run the open-loop ladder ({!open_loop_sweep} over [rates], untraced —
+    locating the knee must not pay tracing costs), find the {!knee} under
+    [latency_cap] (default 1 s), then {!run_attributed} at the knee rate
+    and at the next ladder rate above it (knee × 1.5 when the knee is the
+    top rung) and {!Marlin_obs.Bottleneck.classify} both points. *)
+
+val attributed_point_to_json : ?windows:bool -> attributed_point -> string
+(** [windows] (default false) inlines the full per-window timeseries. *)
+
+val attribution_to_json : attribution -> string
+(** The marlin-bench/1 record: protocol, n, sustainability, the headline
+    verdict, the knee point, and both attributed points (per-window
+    timeseries inlined for the past-knee point). *)
+
 val run_view_change :
   Marlin_core.Consensus_intf.protocol -> params:Cluster.params ->
   force_unhappy:bool -> vc_result

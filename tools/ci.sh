@@ -16,15 +16,24 @@
 # small-n smoke numbers are unchanged.
 #
 # The load gate (`dune build @bench-load`) sweeps open-loop offered load
-# (Poisson arrivals, 1M client keys) over the bounded mempool for marlin
-# and hotstuff at n in {4, 32}, and diffs goodput, drop accounting and
-# tail latency against its baseline — deterministic counts exact, timing
-# within tolerance, the sweep under a wall budget.
+# (Poisson arrivals, 1M client keys) over the bounded mempool for every
+# registry protocol at n in {4, 32}, and diffs goodput, drop accounting
+# and tail latency against its baseline — deterministic counts exact,
+# timing within tolerance, the sweep under a wall budget.
+#
+# The attribution gate (`dune build @bench-attribution`) locates each
+# protocol's saturation knee, re-runs traced at and past it with
+# windowed timeseries attached, and diffs the bottleneck verdicts
+# (which resource binds first: cpu / serialize / nic-queue / propagate /
+# quorum-wait / mempool-backpressure), knee rates and segment shares
+# against its baseline — so a change that silently moves a protocol's
+# binding resource fails CI.
 #
 # To re-bless the baselines after an intentional performance change:
 #   dune exec bench/main.exe -- smoke --json bench/baselines/BENCH_smoke.json
 #   dune exec bench/main.exe -- scaling --smoke --json bench/baselines/BENCH_scaling.json
 #   dune exec bench/main.exe -- load --smoke --json bench/baselines/BENCH_load.json
+#   dune exec bench/main.exe -- attribution --smoke --json bench/baselines/BENCH_attribution.json
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -34,5 +43,6 @@ dune build @lint
 dune build @bench-smoke
 dune build @bench-scaling
 dune build @bench-load
+dune build @bench-attribution
 
-echo "ci: build + tests + lint + bench-smoke + bench-scaling + bench-load gates all green"
+echo "ci: build + tests + lint + bench-smoke + bench-scaling + bench-load + bench-attribution gates all green"
