@@ -27,6 +27,12 @@ type config = {
 
 let quorum cfg = cfg.n - cfg.f
 
+(** The [f + 1] "at least one honest replica" threshold — view-change
+    echo adoption and client-reply matching. Protocol code must take
+    thresholds from here or {!quorum}; the quorum-provenance lint flags
+    any re-derived arithmetic. *)
+let weak_quorum cfg = cfg.f + 1
+
 (** Round-robin leader schedule. *)
 let leader_of cfg view = view mod cfg.n
 

@@ -274,7 +274,7 @@ let rec on_new_view_msg t (m : Message.t) (qc : Qc.t) =
       if
         m.Message.view > t.cview
         && C.leader_of t.cfg m.Message.view = me t
-        && List.length existing + 1 >= t.cfg.C.f + 1
+        && List.length existing + 1 >= C.weak_quorum t.cfg
       then begin
         Obs.view_enter t.cfg.C.obs ~view:m.Message.view ~cause:"sync";
         enter_view t m.Message.view ~send_new_view:true

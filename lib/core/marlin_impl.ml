@@ -550,7 +550,7 @@ let rec on_view_change_msg t (m : Message.t) last justify parsig =
     if
       m.Message.view > t.cview
       && C.leader_of t.cfg m.Message.view = me t
-      && List.length existing + 1 >= t.cfg.C.f + 1
+      && List.length existing + 1 >= C.weak_quorum t.cfg
     then begin
       Obs.view_enter t.cfg.C.obs ~view:m.Message.view ~cause:"sync";
       enter_view t m.Message.view ~send_vc:true

@@ -1,3 +1,6 @@
+(* lint: allow-file linearity -- PBFT is the intentionally quadratic
+   baseline: NEW-VIEW-PROOF ships a quorum of QCs to all n replicas
+   (O(n^2) authenticators), exactly the view-change cost Marlin avoids. *)
 open Marlin_types
 module Sha256 = Marlin_crypto.Sha256
 module C = Consensus_intf
@@ -248,7 +251,7 @@ let rec on_view_change_msg t (m : Message.t) qc =
          view-change messages for a later view justify joining it. *)
       if
         m.Message.view > t.cview
-        && List.length existing + 1 >= t.cfg.C.f + 1
+        && List.length existing + 1 >= C.weak_quorum t.cfg
       then begin
         Obs.view_enter t.cfg.C.obs ~view:m.Message.view ~cause:"sync";
         enter_view t m.Message.view ~send:true

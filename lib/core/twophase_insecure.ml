@@ -213,7 +213,7 @@ let rec on_new_view_msg t (m : Message.t) qc =
       if
         m.Message.view > t.cview
         && C.leader_of t.cfg m.Message.view = me t
-        && List.length existing + 1 >= t.cfg.C.f + 1
+        && List.length existing + 1 >= C.weak_quorum t.cfg
       then enter_view t m.Message.view ~send:true
       else maybe_finish_vc t
     end
@@ -248,12 +248,21 @@ and enter_view t view ~send =
 let maybe_fast_forward t (m : Message.t) =
   if m.Message.view <= t.cview then []
   else
-    match m.Message.payload with
-    | Message.Propose { justify = High_qc.Single qc; _ } | Message.Phase_cert qc
-      when qc.Qc.view = m.Message.view && Auth.verify_qc t.auth qc ->
+    let proof =
+      match m.Message.payload with
+      | Message.Propose { justify = High_qc.Single qc; _ } | Message.Phase_cert qc ->
+          if qc.Qc.view = m.Message.view && Auth.verify_qc t.auth qc then Some qc
+          else None
+      | Message.Propose _ | Message.Vote _ | Message.View_change _
+      | Message.Pre_prepare _ | Message.New_view _ | Message.New_view_proof _ | Message.Fetch _
+      | Message.Fetch_resp _ | Message.Client_op _ | Message.Client_reply _ ->
+          None
+    in
+    match proof with
+    | Some _ ->
         Pacemaker.note_progress t.pacemaker;
         enter_view t m.Message.view ~send:false
-    | _ -> []
+    | None -> []
 
 let on_message t (m : Message.t) =
   let ff = maybe_fast_forward t m in

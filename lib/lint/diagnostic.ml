@@ -46,6 +46,42 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* GitHub Actions workflow-command escaping: data escapes %, CR, LF;
+   property values additionally escape ':' and ','. *)
+let github_escape_data s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '%' -> Buffer.add_string b "%25"
+      | '\r' -> Buffer.add_string b "%0D"
+      | '\n' -> Buffer.add_string b "%0A"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let github_escape_property s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '%' -> Buffer.add_string b "%25"
+      | '\r' -> Buffer.add_string b "%0D"
+      | '\n' -> Buffer.add_string b "%0A"
+      | ':' -> Buffer.add_string b "%3A"
+      | ',' -> Buffer.add_string b "%2C"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_github d =
+  Printf.sprintf "::%s file=%s,line=%d,col=%d,title=%s::%s"
+    (severity_label d.severity)
+    (github_escape_property d.file)
+    d.line d.col
+    (github_escape_property d.rule)
+    (github_escape_data d.message)
+
 let to_json d =
   Printf.sprintf
     {|{"rule":"%s","severity":"%s","file":"%s","line":%d,"col":%d,"message":"%s"}|}

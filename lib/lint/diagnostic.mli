@@ -29,6 +29,11 @@ val order : t -> t -> int
 val pp : Format.formatter -> t -> unit
 (** [file:line:col: [rule] severity: message] — one line, compiler style. *)
 
+val to_github : t -> string
+(** A GitHub Actions workflow command —
+    [::error file=…,line=…,col=…,title=rule::message] — with %/CR/LF
+    (and [:]/[,] in properties) percent-escaped per the Actions spec. *)
+
 val to_json : t -> string
 (** One JSON object, parseable by [Marlin_obs.Json_lite]. *)
 

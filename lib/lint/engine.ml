@@ -6,6 +6,7 @@ type result = {
   diagnostics : Diagnostic.t list;
   suppressed : int;
   rules_run : Rules.t list;
+  timings : (string * float) list;
 }
 
 (* ---------- parsing ---------- *)
@@ -142,7 +143,11 @@ let apply_warn ~warn (d : Diagnostic.t) =
     { d with Diagnostic.severity = Diagnostic.Warning }
   else d
 
-let run_project ?(warn = []) (files : Rules.file list) =
+(* The default clock pins every timing to zero, which keeps reports
+   byte-identical across runs; the CLI's --time passes a real clock. *)
+let null_clock () = 0.
+
+let run_project ?(clock = null_clock) ?(warn = []) (files : Rules.file list) =
   let project =
     {
       Rules.files;
@@ -152,52 +157,48 @@ let run_project ?(warn = []) (files : Rules.file list) =
       deprecated = harvest_deprecated files;
     }
   in
+  let timings = ref [] in
+  let timed name f =
+    let t0 = clock () in
+    let r = f () in
+    timings := (name, clock () -. t0) :: !timings;
+    r
+  in
   let raw =
     parse_error_diags files
     @ List.concat_map
         (fun (rule : Rules.t) ->
-          List.concat_map
-            (fun (f : Rules.file) ->
-              if rule.Rules.applies f.Rules.rel then rule.Rules.check project f
-              else [])
-            files)
+          timed rule.Rules.name (fun () ->
+              List.concat_map
+                (fun (f : Rules.file) ->
+                  if rule.Rules.applies f.Rules.rel then
+                    rule.Rules.check project f
+                  else [])
+                files))
         Rules.all
   in
-  let suppress_of =
-    let tbl = Hashtbl.create 16 in
-    fun (rel : string) (source : string) ->
-      match Hashtbl.find_opt tbl rel with
-      | Some s -> s
-      | None ->
-          let s = Suppress.of_source source in
-          Hashtbl.replace tbl rel s;
-          s
+  let source_of rel =
+    Option.map
+      (fun (f : Rules.file) -> f.Rules.source)
+      (List.find_opt (fun (f : Rules.file) -> f.Rules.rel = rel) files)
   in
-  let suppressed = ref 0 in
-  let diagnostics =
-    List.filter
-      (fun (d : Diagnostic.t) ->
-        match
-          List.find_opt
-            (fun (f : Rules.file) -> f.Rules.rel = d.Diagnostic.file)
-            files
-        with
-        | Some f
-          when Suppress.allows
-                 (suppress_of f.Rules.rel f.Rules.source)
-                 ~rule:d.Diagnostic.rule ~line:d.Diagnostic.line ->
-            incr suppressed;
-            false
-        | Some _ | None -> true)
+  let known_rules =
+    "parse-error" :: List.map (fun (r : Rules.t) -> r.Rules.name) Rules.all
+  in
+  let kept, suppressed =
+    Waivers.filter ~known_rules ~source_of
+      ~files:(List.map (fun (f : Rules.file) -> f.Rules.rel) files)
       raw
-    |> List.map (apply_warn ~warn)
-    |> List.sort Diagnostic.order
+  in
+  let diagnostics =
+    kept |> List.map (apply_warn ~warn) |> List.sort Diagnostic.order
   in
   {
     files_scanned = List.length files;
     diagnostics;
-    suppressed = !suppressed;
+    suppressed;
     rules_run = Rules.all;
+    timings = List.rev !timings;
   }
 
 let load_file ~root path =
@@ -208,13 +209,16 @@ let load_file ~root path =
     ast = parse_path path;
   }
 
-let run ?(warn = []) ?root ~paths () =
+let run ?(clock = null_clock) ?(warn = []) ?root ~paths () =
+  let t0 = clock () in
   let files =
     List.concat_map (fun p -> walk [] p) paths
     |> List.sort String.compare
     |> List.map (load_file ~root)
   in
-  run_project ~warn files
+  let scan_seconds = clock () -. t0 in
+  let r = run_project ~clock ~warn files in
+  { r with timings = ("parse/scan", scan_seconds) :: r.timings }
 
 let lint_source ?(warn = []) ~path ~source () =
   let file =
@@ -236,39 +240,23 @@ let warnings r =
 
 (* ---------- reports ---------- *)
 
-let pp_human fmt r =
-  List.iter
-    (fun d -> Format.fprintf fmt "%a@." Diagnostic.pp d)
-    r.diagnostics;
-  Format.fprintf fmt
-    "marlin_lint: %d file(s), %d rule(s): %d error(s), %d warning(s), %d \
-     suppressed@."
-    r.files_scanned (List.length r.rules_run) (errors r) (warnings r)
-    r.suppressed
+let to_report r =
+  {
+    Report.files_scanned = r.files_scanned;
+    diagnostics = r.diagnostics;
+    suppressed = r.suppressed;
+    rules =
+      List.map
+        (fun (rule : Rules.t) ->
+          {
+            Report.name = rule.Rules.name;
+            severity = rule.Rules.severity;
+            doc = rule.Rules.doc;
+          })
+        r.rules_run;
+    timings = r.timings;
+  }
 
-let schema = "marlin-lint/1"
-
-let to_json r =
-  let b = Buffer.create 1024 in
-  Buffer.add_string b
-    (Printf.sprintf
-       {|{"schema":"%s","files":%d,"errors":%d,"warnings":%d,"suppressed":%d,|}
-       schema r.files_scanned (errors r) (warnings r) r.suppressed);
-  Buffer.add_string b {|"rules":[|};
-  List.iteri
-    (fun i (rule : Rules.t) ->
-      if i > 0 then Buffer.add_char b ',';
-      Buffer.add_string b
-        (Printf.sprintf {|{"name":"%s","severity":"%s","doc":"%s"}|}
-           (Diagnostic.json_escape rule.Rules.name)
-           (Diagnostic.severity_label rule.Rules.severity)
-           (Diagnostic.json_escape rule.Rules.doc)))
-    r.rules_run;
-  Buffer.add_string b {|],"diagnostics":[|};
-  List.iteri
-    (fun i d ->
-      if i > 0 then Buffer.add_char b ',';
-      Buffer.add_string b (Diagnostic.to_json d))
-    r.diagnostics;
-  Buffer.add_string b "]}";
-  Buffer.contents b
+let pp_human fmt r = Report.pp_human fmt (to_report r)
+let schema = Report.schema
+let to_json r = Report.to_json (to_report r)

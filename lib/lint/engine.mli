@@ -7,15 +7,24 @@ type result = {
   diagnostics : Diagnostic.t list;  (** unsuppressed, in report order *)
   suppressed : int;
   rules_run : Rules.t list;
+  timings : (string * float) list;
+      (** per-rule seconds plus a ["parse/scan"] phase entry; all zero
+          under the default null clock so reports stay byte-identical *)
 }
 
 val run :
-  ?warn:string list -> ?root:string -> paths:string list -> unit -> result
+  ?clock:(unit -> float) ->
+  ?warn:string list ->
+  ?root:string ->
+  paths:string list ->
+  unit ->
+  result
 (** Lint every [.ml]/[.mli] under [paths] (files or directories; [_build]
     and dotfiles are skipped). [root], when given, is stripped from the
     front of each path before rule scoping — running a fixture tree at
     [fixtures/lib/...] as if it were [lib/...]. [warn] demotes the named
-    rules to {!Diagnostic.Warning} severity. *)
+    rules to {!Diagnostic.Warning} severity. [clock] (seconds) feeds the
+    per-rule timings; it defaults to a null clock that pins them to zero. *)
 
 val lint_source :
   ?warn:string list -> path:string -> source:string -> unit -> result
@@ -24,6 +33,10 @@ val lint_source :
 
 val errors : result -> int
 val warnings : result -> int
+
+val to_report : result -> Report.t
+(** Lower into the pass-neutral {!Report} shape for merging with the
+    typed pass. *)
 
 val pp_human : Format.formatter -> result -> unit
 (** Compiler-style [file:line:col] lines plus a one-line summary. *)

@@ -66,10 +66,15 @@ let of_source source =
          entries := scan_line ~line:!line text @ !entries);
   !entries
 
-let allows t ~rule ~line =
-  List.exists
+let matching t ~rule ~line =
+  List.filter
     (fun e ->
       e.rule = rule && (e.file_wide || e.line = line || e.line = line - 1))
     t
+
+let allows t ~rule ~line =
+  match matching t ~rule ~line with [] -> false | _ :: _ -> true
+
+let entries t = t
 
 let count t = List.length t

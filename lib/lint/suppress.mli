@@ -6,6 +6,12 @@
     expected by convention — a suppression without one should not survive
     review. *)
 
+type entry = {
+  rule : string;
+  line : int;  (** line the directive appears on *)
+  file_wide : bool;  (** [allow-file] *)
+}
+
 type t
 
 val of_source : string -> t
@@ -13,6 +19,14 @@ val of_source : string -> t
     files the parser rejects. *)
 
 val allows : t -> rule:string -> line:int -> bool
+
+val matching : t -> rule:string -> line:int -> entry list
+(** The directives that would waive [rule] at [line] — used by the
+    engines to track which waivers actually fired, so unused ones can be
+    reported as stale. *)
+
+val entries : t -> entry list
+(** Every directive found, whether or not it ever matched. *)
 
 val count : t -> int
 (** Number of suppression directives found (reported so a clean run still

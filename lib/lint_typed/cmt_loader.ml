@@ -1,0 +1,133 @@
+(* Loading dune's .cmt artifacts for the typed pass.
+
+   Dune drops one [.cmt] per compiled module under
+   [_build/default/<dir>/.<lib>.objs/byte/<Lib>__<Module>.cmt]; each one
+   carries the full Typedtree. We walk the given directories (including
+   the leading-dot .objs dirs dune uses), read every .cmt with
+   [Cmt_format.read_cmt], and keep the implementation units.
+
+   Two quirks matter:
+
+   - [cmt_builddir] records the build root of the machine that compiled
+     the unit and is stale under sandboxed builds, so source files are
+     resolved from [cmt_sourcefile] (workspace-relative) against the
+     caller's [source_root] instead.
+
+   - module names are mangled by dune's wrapping ([Marlin_core__Auth]);
+     we normalize to the user-visible name ([Auth]) and remember every
+     wrapper prefix seen so the call graph can normalize referenced
+     paths the same way. *)
+
+type unit_info = {
+  modname : string;
+  rel : string;
+  src_path : string;
+  source : string;
+  structure : Typedtree.structure;
+}
+
+type load_error = { cmt_path : string; message : string }
+
+type t = {
+  units : unit_info list;
+  wrappers : string list;
+  errors : load_error list;
+}
+
+let is_cmt path = Filename.check_suffix path ".cmt"
+
+(* Unlike the source-tree walk in Engine, dot-directories are NOT
+   skipped: dune's .objs dirs are exactly where the artifacts live. *)
+let rec walk acc path =
+  if Sys.file_exists path && Sys.is_directory path then
+    Sys.readdir path
+    |> Array.to_list
+    |> List.sort String.compare
+    |> List.fold_left (fun acc entry -> walk acc (Filename.concat path entry)) acc
+  else if Sys.file_exists path && is_cmt path then path :: acc
+  else acc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* "Marlin_core__Marlin_impl" -> ("Marlin_core", "Marlin_impl");
+   an unwrapped "Foo" has no wrapper. *)
+let split_wrapped modname =
+  let rec find i =
+    if i + 1 >= String.length modname then None
+    else if modname.[i] = '_' && modname.[i + 1] = '_' then Some i
+    else find (i + 1)
+  in
+  (* use the LAST "__" so "A__B__C" keeps the innermost name *)
+  let rec last i best =
+    match find i with
+    | None -> best
+    | Some j -> last (j + 2) (Some j)
+  in
+  match last 0 None with
+  | None -> (None, modname)
+  | Some j ->
+      ( Some (String.sub modname 0 j),
+        String.sub modname (j + 2) (String.length modname - j - 2) )
+
+let apply_map ~map rel =
+  match map with
+  | None -> rel
+  | Some (from_prefix, to_prefix) ->
+      let fp =
+        if Filename.check_suffix from_prefix "/" then from_prefix
+        else from_prefix ^ "/"
+      in
+      if
+        String.length rel > String.length fp
+        && String.sub rel 0 (String.length fp) = fp
+      then
+        to_prefix ^ "/"
+        ^ String.sub rel (String.length fp) (String.length rel - String.length fp)
+      else rel
+
+let load ?map ?(source_root = ".") ~paths () =
+  let cmts =
+    List.concat_map (fun p -> walk [] p) paths |> List.sort String.compare
+  in
+  let units = ref [] in
+  let wrappers = ref [] in
+  let errors = ref [] in
+  let seen_rel : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun cmt_path ->
+      match Cmt_format.read_cmt cmt_path with
+      | exception exn ->
+          errors :=
+            { cmt_path; message = Printexc.to_string exn } :: !errors
+      | cmt -> (
+          let wrapper, modname = split_wrapped cmt.Cmt_format.cmt_modname in
+          (match wrapper with
+          | Some w when not (List.mem w !wrappers) -> wrappers := w :: !wrappers
+          | Some _ | None -> ());
+          (* the wrapper alias module itself ("marlin_core.ml-gen") has no
+             user source; Filename.check_suffix ".ml" rejects it *)
+          match (cmt.Cmt_format.cmt_annots, cmt.Cmt_format.cmt_sourcefile) with
+          | Cmt_format.Implementation structure, Some src
+            when Filename.check_suffix src ".ml" ->
+              let rel = apply_map ~map src in
+              if not (Hashtbl.mem seen_rel rel) then begin
+                Hashtbl.replace seen_rel rel ();
+                let src_path = Filename.concat source_root src in
+                let source =
+                  if Sys.file_exists src_path then read_file src_path else ""
+                in
+                units :=
+                  { modname; rel; src_path; source; structure } :: !units
+              end
+          | _ -> ()))
+    cmts;
+  {
+    units = List.rev !units;
+    wrappers = List.sort String.compare !wrappers;
+    errors = List.rev !errors;
+  }

@@ -1,0 +1,37 @@
+(** Loading dune's [.cmt] artifacts for the typed pass.
+
+    Walks the given directories (including the leading-dot [.objs] dirs
+    dune uses), reads every [.cmt] with [Cmt_format.read_cmt], and keeps
+    the implementation units with their full Typedtree. Module names are
+    un-mangled from dune's wrapping ([Marlin_core__Auth] → [Auth]); the
+    wrapper prefixes seen are reported so {!Callgraph} can normalize
+    referenced paths the same way. *)
+
+type unit_info = {
+  modname : string;  (** user-visible module name, wrapping stripped *)
+  rel : string;  (** workspace-relative source path, after [map] *)
+  src_path : string;  (** where the source was read from (waiver scan) *)
+  source : string;  (** source text, [""] if unreadable *)
+  structure : Typedtree.structure;
+}
+
+type load_error = { cmt_path : string; message : string }
+
+type t = {
+  units : unit_info list;  (** sorted by cmt path, deduped by [rel] *)
+  wrappers : string list;  (** dune wrapper-module prefixes seen *)
+  errors : load_error list;  (** unreadable artifacts (version skew…) *)
+}
+
+val split_wrapped : string -> string option * string
+(** ["Marlin_core__Auth"] → [(Some "Marlin_core", "Auth")];
+    an unwrapped name has no prefix. Splits on the last ["__"]. *)
+
+val load : ?map:string * string -> ?source_root:string -> paths:string list -> unit -> t
+(** [load ~paths ()] scans [paths] for [.cmt] files. [map=(from_, to_)]
+    rewrites each unit's [rel] prefix — used to lint fixture trees as if
+    they lived under [lib/core] so path-scoped rules apply. [source_root]
+    (default ["."]) anchors [cmt_sourcefile]'s workspace-relative path
+    when reading sources for the waiver scan; [cmt_builddir] is not used
+    because it records the build machine's root and goes stale under
+    sandboxed builds. *)

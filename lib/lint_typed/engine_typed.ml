@@ -1,0 +1,107 @@
+(* The typed-pass driver: load cmts, build the call graph, run the four
+   interprocedural rules, honour the same (* lint: allow *) waivers the
+   parse pass uses (scanned from the units' sources), and lower into the
+   shared Report shape for merging. *)
+
+module Diagnostic = Marlin_lint.Diagnostic
+module Waivers = Marlin_lint.Waivers
+module Report = Marlin_lint.Report
+
+type result = {
+  units_scanned : int;
+  diagnostics : Diagnostic.t list;
+  suppressed : int;
+  rules_run : Rules_typed.t list;
+  timings : (string * float) list;
+}
+
+let null_clock () = 0.
+
+let cmt_error_diags (loader : Cmt_loader.t) =
+  List.map
+    (fun (e : Cmt_loader.load_error) ->
+      Diagnostic.make ~rule:"cmt-error" ~severity:Diagnostic.Error
+        ~file:e.Cmt_loader.cmt_path ~line:1 ~col:0
+        (Printf.sprintf "unreadable build artifact: %s" e.Cmt_loader.message))
+    loader.Cmt_loader.errors
+
+let apply_warn ~warn (d : Diagnostic.t) =
+  if List.mem d.Diagnostic.rule warn then
+    { d with Diagnostic.severity = Diagnostic.Warning }
+  else d
+
+let run ?(clock = null_clock) ?(warn = []) ?map ?source_root ~paths () =
+  let t0 = clock () in
+  let loader = Cmt_loader.load ?map ?source_root ~paths () in
+  let graph = Callgraph.build loader in
+  let load_seconds = clock () -. t0 in
+  let ctx = { Rules_typed.loader; graph } in
+  let timings = ref [] in
+  let raw =
+    cmt_error_diags loader
+    @ List.concat_map
+        (fun (rule : Rules_typed.t) ->
+          let t0 = clock () in
+          let ds = rule.Rules_typed.check ctx in
+          timings := (rule.Rules_typed.name, clock () -. t0) :: !timings;
+          ds)
+        Rules_typed.all
+  in
+  let source_of rel =
+    Option.map
+      (fun (u : Cmt_loader.unit_info) -> u.Cmt_loader.source)
+      (List.find_opt
+         (fun (u : Cmt_loader.unit_info) -> u.Cmt_loader.rel = rel)
+         loader.Cmt_loader.units)
+  in
+  let known_rules =
+    "cmt-error"
+    :: List.map (fun (r : Rules_typed.t) -> r.Rules_typed.name) Rules_typed.all
+  in
+  let kept, suppressed =
+    Waivers.filter ~known_rules ~source_of
+      ~files:
+        (List.map
+           (fun (u : Cmt_loader.unit_info) -> u.Cmt_loader.rel)
+           loader.Cmt_loader.units)
+      raw
+  in
+  let diagnostics =
+    kept |> List.map (apply_warn ~warn) |> List.sort Diagnostic.order
+  in
+  {
+    units_scanned = List.length loader.Cmt_loader.units;
+    diagnostics;
+    suppressed;
+    rules_run = Rules_typed.all;
+    timings = ("typed/load", load_seconds) :: List.rev !timings;
+  }
+
+let errors r =
+  List.length
+    (List.filter
+       (fun (d : Diagnostic.t) -> d.Diagnostic.severity = Diagnostic.Error)
+       r.diagnostics)
+
+let warnings r =
+  List.length
+    (List.filter
+       (fun (d : Diagnostic.t) -> d.Diagnostic.severity = Diagnostic.Warning)
+       r.diagnostics)
+
+let to_report r =
+  {
+    Report.files_scanned = r.units_scanned;
+    diagnostics = r.diagnostics;
+    suppressed = r.suppressed;
+    rules =
+      List.map
+        (fun (rule : Rules_typed.t) ->
+          {
+            Report.name = rule.Rules_typed.name;
+            severity = rule.Rules_typed.severity;
+            doc = rule.Rules_typed.doc;
+          })
+        r.rules_run;
+    timings = r.timings;
+  }

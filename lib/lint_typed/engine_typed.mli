@@ -1,0 +1,36 @@
+(** The typed-pass driver: loads [.cmt] artifacts ({!Cmt_loader}), builds
+    the {!Callgraph}, runs {!Rules_typed.all}, honours the same
+    [(* lint: allow *)] waivers as the parse pass (scanned from the
+    units' sources, with stale-waiver detection), and lowers into the
+    shared {!Marlin_lint.Report} shape. *)
+
+module Diagnostic = Marlin_lint.Diagnostic
+
+type result = {
+  units_scanned : int;
+  diagnostics : Diagnostic.t list;  (** unsuppressed, in report order *)
+  suppressed : int;
+  rules_run : Rules_typed.t list;
+  timings : (string * float) list;
+      (** per-rule seconds plus a ["typed/load"] phase entry; all zero
+          under the default null clock *)
+}
+
+val run :
+  ?clock:(unit -> float) ->
+  ?warn:string list ->
+  ?map:string * string ->
+  ?source_root:string ->
+  paths:string list ->
+  unit ->
+  result
+(** Scan [paths] for [.cmt] files and run the typed rules. [map] and
+    [source_root] are forwarded to {!Cmt_loader.load} — [map] lets a
+    fixture tree be linted under a protocol path so scoped rules apply.
+    Unreadable artifacts surface as ["cmt-error"] diagnostics rather
+    than aborting the pass. *)
+
+val errors : result -> int
+val warnings : result -> int
+
+val to_report : result -> Marlin_lint.Report.t

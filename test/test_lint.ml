@@ -4,9 +4,16 @@
    missing-mli) over a real on-disk tree, the JSON report, and severity
    demotion. *)
 
+(* lint: allow-file stale-waiver -- the waiver directives below live
+   inside test string literals; the textual suppression scan cannot tell
+   them from real ones *)
+
 module Engine = Marlin_lint.Engine
 module Diagnostic = Marlin_lint.Diagnostic
 module Rules = Marlin_lint.Rules
+module Report = Marlin_lint.Report
+module Typed = Marlin_lint_typed.Engine_typed
+module Rules_typed = Marlin_lint_typed.Rules_typed
 module Json = Marlin_obs.Json_lite
 
 (* ---------- helpers ---------- *)
@@ -295,6 +302,173 @@ let test_rule_inventory () =
   Alcotest.(check bool) "find rejects unknowns" true
     (Option.is_none (Rules.find "no-such-rule"))
 
+(* ---------- typed pass over the seeded-violation fixtures ---------- *)
+
+(* The fixture library compiles under tools/lint/fixtures_typed; the
+   --typed-map equivalent below lints it as if it lived in lib/core so
+   the protocol-scoped rules apply. The test binary runs from
+   _build/default/test, hence the ".." source root. *)
+let typed_result =
+  lazy
+    (Typed.run
+       ~map:("tools/lint/fixtures_typed", "lib/core")
+       ~source_root:".."
+       ~paths:[ "../tools/lint/fixtures_typed/.lint_fixtures_typed.objs/byte" ]
+       ())
+
+let typed_anchors rule =
+  let r = Lazy.force typed_result in
+  List.filter_map
+    (fun d ->
+      if d.Diagnostic.rule = rule then
+        Some (d.Diagnostic.file, d.Diagnostic.line, d.Diagnostic.col)
+      else None)
+    r.Typed.diagnostics
+
+let check_typed_anchors msg expected rule =
+  Alcotest.(check (list (triple string int int))) msg expected
+    (typed_anchors rule)
+
+let test_typed_transitive_impurity () =
+  check_typed_anchors "direct and transitive impurity anchored at the binding"
+    [
+      ("lib/core/bad_transitive_impure.ml", 6, 4);
+      ("lib/core/bad_transitive_impure.ml", 8, 4);
+    ]
+    "transitive-impurity";
+  let r = Lazy.force typed_result in
+  let transitive =
+    List.find
+      (fun d ->
+        d.Diagnostic.rule = "transitive-impurity" && d.Diagnostic.line = 8)
+      r.Typed.diagnostics
+  in
+  Alcotest.(check bool) "message names the witness call chain" true
+    (let msg = transitive.Diagnostic.message in
+     let sub = "via Bad_transitive_impure.jitter" in
+     let ls = String.length sub and l = String.length msg in
+     let rec scan i = i + ls <= l && (String.sub msg i ls = sub || scan (i + 1)) in
+     scan 0)
+
+let test_typed_quorum_provenance () =
+  check_typed_anchors "2*f and n-f both flagged at the operator application"
+    [
+      ("lib/core/bad_raw_quorum.ml", 7, 49);
+      ("lib/core/bad_raw_quorum.ml", 9, 43);
+    ]
+    "quorum-provenance"
+
+let test_typed_linearity () =
+  check_typed_anchors
+    "lexically nested broadcast and the transitive O(n) callee both flagged"
+    [
+      ("lib/core/bad_nested_broadcast.ml", 10, 35);
+      ("lib/core/bad_nested_broadcast.ml", 18, 24);
+    ]
+    "linearity"
+
+let test_typed_exhaustive_handler () =
+  check_typed_anchors "wildcard in a payload dispatch anchored at the pattern"
+    [ ("lib/core/bad_wildcard_handler.ml", 9, 4) ]
+    "exhaustive-handler"
+
+let test_typed_waiver_interaction () =
+  let r = Lazy.force typed_result in
+  (* waived_linearity.ml is quadratic on purpose and carries a file-wide
+     allow-file directive: its finding must be suppressed, and counted. *)
+  Alcotest.(check (list (triple string int int)))
+    "allow-file waiver suppresses the quadratic fixture" []
+    (List.filter
+       (fun (f, _, _) -> f = "lib/core/waived_linearity.ml")
+       (typed_anchors "linearity"));
+  Alcotest.(check bool) "suppression is counted" true (r.Typed.suppressed >= 1);
+  (* stale_waiver.ml waives a rule that never fires: that surfaces as a
+     warning anchored at the directive line. *)
+  check_typed_anchors "unused waiver reported where it was written"
+    [ ("lib/core/stale_waiver.ml", 5, 0) ]
+    "stale-waiver"
+
+let test_typed_rule_inventory () =
+  Alcotest.(check int) "four typed rules ship" 4 (List.length Rules_typed.all);
+  List.iter
+    (fun rule ->
+      Alcotest.(check bool) ("find knows " ^ rule) true
+        (Option.is_some (Rules_typed.find rule)))
+    [ "transitive-impurity"; "quorum-provenance"; "linearity";
+      "exhaustive-handler" ];
+  Alcotest.(check bool) "find rejects unknowns" true
+    (Option.is_none (Rules_typed.find "no-such-rule"))
+
+(* ---------- canonical ordering & report merging ---------- *)
+
+let mk_diag ~file ~line ~col ~rule =
+  Diagnostic.make ~rule ~severity:Diagnostic.Error ~file ~line ~col "m"
+
+let render d = Format.asprintf "%a" Diagnostic.pp d
+
+let test_canonical_ordering () =
+  let sorted =
+    [
+      mk_diag ~file:"a.ml" ~line:1 ~col:0 ~rule:"beta";
+      mk_diag ~file:"a.ml" ~line:1 ~col:0 ~rule:"gamma";
+      mk_diag ~file:"a.ml" ~line:1 ~col:2 ~rule:"alpha";
+      mk_diag ~file:"a.ml" ~line:2 ~col:0 ~rule:"alpha";
+      mk_diag ~file:"b.ml" ~line:1 ~col:0 ~rule:"alpha";
+    ]
+  in
+  let nth i = List.nth sorted i in
+  let shuffled = [ nth 3; nth 0; nth 4; nth 2; nth 1 ] in
+  Alcotest.(check (list string)) "canonical = (rel, line, col, rule)"
+    (List.map render sorted)
+    (List.map render (Report.canonical shuffled));
+  (* merging two passes re-sorts, so interleaved findings come out in the
+     same canonical order in both the text and JSON renderings *)
+  let report diags =
+    { Report.empty with Report.diagnostics = diags; files_scanned = 1 }
+  in
+  let merged = Report.merge (report [ nth 4; nth 1 ]) (report [ nth 3; nth 0; nth 2 ]) in
+  Alcotest.(check (list string)) "merge restores canonical order"
+    (List.map render sorted)
+    (List.map render merged.Report.diagnostics);
+  let json = Json.parse_exn (Report.to_json merged) in
+  let diags =
+    Option.get (Json.to_list (Option.get (Json.mem [ "diagnostics" ] json)))
+  in
+  Alcotest.(check (list (option string))) "JSON serializes the same order"
+    (List.map (fun d -> Some d.Diagnostic.rule) sorted)
+    (List.map (fun d -> Json.string_at [ "rule" ] d) diags)
+
+let test_json_byte_identical () =
+  let run () =
+    Typed.run
+      ~map:("tools/lint/fixtures_typed", "lib/core")
+      ~source_root:".."
+      ~paths:[ "../tools/lint/fixtures_typed/.lint_fixtures_typed.objs/byte" ]
+      ()
+  in
+  let j1 = Report.to_json (Typed.to_report (run ())) in
+  let j2 = Report.to_json (Typed.to_report (run ())) in
+  Alcotest.(check string) "two clean runs render byte-identically" j1 j2;
+  Alcotest.(check (option string)) "schema tag" (Some "marlin-lint/1")
+    (Json.string_at [ "schema" ] (Json.parse_exn j1))
+
+let test_github_format () =
+  let d =
+    Diagnostic.make ~rule:"poly-compare" ~severity:Diagnostic.Error
+      ~file:"lib/a.ml" ~line:3 ~col:7 "bad, stuff: 100%\nnext"
+  in
+  Alcotest.(check string) "workflow-command escaping"
+    "::error file=lib/a.ml,line=3,col=7,title=poly-compare::bad, stuff: \
+     100%25%0Anext"
+    (Diagnostic.to_github d);
+  let w =
+    Diagnostic.make ~rule:"stale-waiver" ~severity:Diagnostic.Warning
+      ~file:"lib/b,c.ml" ~line:1 ~col:0 "plain"
+  in
+  Alcotest.(check string) "warnings and property escaping"
+    "::warning file=lib/b%2Cc.ml,line=1,col=0,title=stale-waiver::plain"
+    (Diagnostic.to_github w)
+
 let suite =
   [
     ("poly-compare", `Quick, test_poly_compare);
@@ -311,6 +485,15 @@ let suite =
     ("json report round-trips", `Quick, test_json_report);
     ("broken source is a finding", `Quick, test_broken_source_reported);
     ("rule inventory", `Quick, test_rule_inventory);
+    ("typed: transitive-impurity", `Quick, test_typed_transitive_impurity);
+    ("typed: quorum-provenance", `Quick, test_typed_quorum_provenance);
+    ("typed: linearity", `Quick, test_typed_linearity);
+    ("typed: exhaustive-handler", `Quick, test_typed_exhaustive_handler);
+    ("typed: waivers and stale-waiver", `Quick, test_typed_waiver_interaction);
+    ("typed: rule inventory", `Quick, test_typed_rule_inventory);
+    ("canonical diagnostic ordering", `Quick, test_canonical_ordering);
+    ("typed: json byte-identical", `Quick, test_json_byte_identical);
+    ("github annotation format", `Quick, test_github_format);
   ]
 
 let () = Alcotest.run "lint" [ ("lint", suite) ]

@@ -1,10 +1,22 @@
 #!/bin/sh
-# The full gate: build, tier-1 tests, the marlin_lint static-analysis
-# pass (`dune build @lint` — determinism/protocol-safety idioms over
-# lib/ bench/ test/, plus the seeded-violation fixture check), then the
-# bench smoke pipeline with its regression check against the committed
-# baselines
+# The full gate: build, then the marlin_lint static-analysis pass
+# (`dune build @lint` — the Parsetree determinism/protocol-safety idioms
+# over lib/ bench/ test/ PLUS the typed interprocedural pass over every
+# lib/ .cmt: effect inference, quorum-arithmetic provenance, linearity,
+# exhaustive payload dispatch — and both seeded-violation fixture
+# checks), then tier-1 tests, then the bench smoke pipeline with its
+# regression check against the committed baselines
 # (bench/baselines/*.json). Any tolerance violation fails the script.
+# Lint runs before the tests because it is the cheapest gate with the
+# highest signal-per-second: a raw `2*f` or a nested broadcast should
+# fail CI in seconds, not after the full suite.
+#
+# After the alias gate, the lint runs once more with a real clock to
+# write _build/lint-report.json — the marlin-lint/1 document with
+# per-rule timings, kept as a CI artifact for lint-performance tracking.
+# (The alias runs themselves use the null clock so their JSON stays
+# byte-identical run to run.)
+#
 # The smoke run includes a deterministic fault scenario (leader crash),
 # so the gate also covers recovery latency and view-change
 # message/authenticator counts from the marlin_faults subsystem.
@@ -38,11 +50,15 @@ set -eu
 cd "$(dirname "$0")/.."
 
 dune build
-dune runtest
 dune build @lint
+(cd _build/default \
+ && ./tools/lint/main.exe --quiet --time --json ../lint-report.json \
+      lib bench test --typed lib)
+echo "ci: lint report with per-rule timings at _build/lint-report.json"
+dune runtest
 dune build @bench-smoke
 dune build @bench-scaling
 dune build @bench-load
 dune build @bench-attribution
 
-echo "ci: build + tests + lint + bench-smoke + bench-scaling + bench-load + bench-attribution gates all green"
+echo "ci: build + lint + tests + bench-smoke + bench-scaling + bench-load + bench-attribution gates all green"

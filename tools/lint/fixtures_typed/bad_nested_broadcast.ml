@@ -1,0 +1,18 @@
+(* Seeded violations for the typed linearity rule: a broadcast inside
+   per-replica iteration (lexical O(n^2)), and a per-replica send loop
+   invoked from inside a second per-replica loop (transitive O(n^2)).
+   [send_to] and [flood] alone are linear and must NOT be flagged. *)
+
+module C = Marlin_core.Consensus_intf
+open Marlin_types
+
+let echo_storm (peers : int array) (m : Message.t) =
+  Array.iter (fun _peer -> ignore (C.Broadcast m)) peers
+
+let send_to (dst : int) (m : Message.t) = C.Send { dst; msg = m }
+
+let flood (peers : int array) (m : Message.t) =
+  Array.iter (fun dst -> ignore (send_to dst m)) peers
+
+let gossip_all (replicas : int array) (peers : int array) (m : Message.t) =
+  Array.iter (fun _r -> flood peers m) replicas

@@ -1,0 +1,9 @@
+(* Seeded violations for the typed quorum-provenance rule: vote
+   thresholds re-derived from f and n instead of coming from
+   Consensus_intf.quorum / weak_quorum. *)
+
+module C = Marlin_core.Consensus_intf
+
+let has_quorum (cfg : C.config) votes = votes >= (2 * cfg.C.f) + 1
+
+let vc_ready (cfg : C.config) got = got >= cfg.C.n - cfg.C.f

@@ -1,0 +1,8 @@
+(* Seeded violations for the typed transitive-impurity rule. The
+   syntactic wall-clock rule would only ever see [jitter]'s direct
+   Sys.time; [on_view_timeout] is impure purely by calling it, which
+   takes the interprocedural effect inference to detect. *)
+
+let jitter () = Sys.time ()
+
+let on_view_timeout backoff = backoff +. jitter ()

@@ -1,0 +1,9 @@
+(* Seeded violation for the typed exhaustive-handler rule: a silent
+   wildcard drop in a Message.payload dispatch. *)
+
+open Marlin_types
+
+let on_message (m : Message.t) =
+  match m.Message.payload with
+  | Message.Client_op _ -> 1
+  | _ -> 0

@@ -1,0 +1,6 @@
+(* A waiver naming a typed rule that never fires in this file: the
+   engines must report it as a stale-waiver warning anchored at the
+   directive's line. *)
+
+(* lint: allow quorum-provenance -- fixture: nothing fires below *)
+let quiet x = x + 1

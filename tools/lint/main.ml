@@ -1,37 +1,79 @@
 (* marlin_lint — repo-specific static analysis over lib/, bench/, test/.
 
-   Usage: marlin_lint [options] PATH...
-     --json FILE   also write the marlin-lint/1 JSON report (- = stdout)
-     --root DIR    strip DIR/ from paths before rule scoping (fixtures)
-     --warn RULE   demote RULE to warning severity (repeatable)
-     --quiet       suppress the human report (summary still printed)
-     --list-rules  print every rule with severity and doc, then exit
+   Two passes share one report:
+     - the Parsetree pass scans source PATHs (rules: poly-compare, ...);
+     - the Typedtree pass (--typed) loads dune's .cmt artifacts and runs
+       the interprocedural rules (transitive-impurity, quorum-provenance,
+       linearity, exhaustive-handler).
+
+   Usage: marlin_lint [options] [PATH...]
+     --json FILE       also write the marlin-lint/1 JSON report (- = stdout)
+     --format FMT      human report format: text (default) or github
+                       (GitHub Actions ::error annotations)
+     --root DIR        strip DIR/ from paths before rule scoping (fixtures)
+     --typed DIR       also run the typed pass over .cmt files under DIR
+                       (repeatable)
+     --typed-map F=T   rewrite typed units' rel prefix F to T (lint a
+                       fixture tree as if it lived under lib/core)
+     --typed-source-root DIR
+                       resolve typed units' sources against DIR (waivers)
+     --warn RULE       demote RULE to warning severity (repeatable)
+     --time            record real per-rule timings in the report (off by
+                       default so reports stay byte-identical)
+     --quiet           suppress the human report (summary still printed)
+     --list-rules      print every rule of both passes, then exit
 
    Exit status: 0 clean, 1 error-severity diagnostics, 2 usage error. *)
 
 module Lint = Marlin_lint.Engine
 module Rules = Marlin_lint.Rules
 module Diagnostic = Marlin_lint.Diagnostic
+module Report = Marlin_lint.Report
+module Typed = Marlin_lint_typed.Engine_typed
+module Rules_typed = Marlin_lint_typed.Rules_typed
 
 let usage () =
   prerr_endline
-    "usage: marlin_lint [--json FILE|-] [--root DIR] [--warn RULE] [--quiet] \
-     [--list-rules] PATH...";
+    "usage: marlin_lint [--json FILE|-] [--format text|github] [--root DIR] \
+     [--typed DIR] [--typed-map FROM=TO] [--typed-source-root DIR] [--warn \
+     RULE] [--time] [--quiet] [--list-rules] [PATH...]";
   exit 2
 
 let list_rules () =
   List.iter
     (fun (r : Rules.t) ->
-      Printf.printf "%-16s %-7s %s\n" r.Rules.name
+      Printf.printf "%-20s %-7s %s\n" r.Rules.name
         (Diagnostic.severity_label r.Rules.severity)
         r.Rules.doc)
     Rules.all;
+  List.iter
+    (fun (r : Rules_typed.t) ->
+      Printf.printf "%-20s %-7s [typed] %s\n" r.Rules_typed.name
+        (Diagnostic.severity_label r.Rules_typed.severity)
+        r.Rules_typed.doc)
+    Rules_typed.all;
   exit 0
+
+let known_rule rule =
+  Rules.find rule <> None || Rules_typed.find rule <> None
+
+let split_map s =
+  match String.index_opt s '=' with
+  | Some i when i > 0 && i < String.length s - 1 ->
+      Some
+        ( String.sub s 0 i,
+          String.sub s (i + 1) (String.length s - i - 1) )
+  | _ -> None
 
 let () =
   let json = ref None
+  and format = ref `Text
   and root = ref None
   and warn = ref []
+  and typed = ref []
+  and typed_map = ref None
+  and typed_source_root = ref None
+  and time = ref false
   and quiet = ref false
   and paths = ref [] in
   let rec parse = function
@@ -39,22 +81,47 @@ let () =
     | "--json" :: file :: rest ->
         json := Some file;
         parse rest
+    | "--format" :: "text" :: rest ->
+        format := `Text;
+        parse rest
+    | "--format" :: "github" :: rest ->
+        format := `Github;
+        parse rest
+    | "--format" :: _ :: _ -> usage ()
     | "--root" :: dir :: rest ->
         root := Some dir;
         parse rest
+    | "--typed" :: dir :: rest ->
+        typed := dir :: !typed;
+        parse rest
+    | "--typed-map" :: spec :: rest -> (
+        match split_map spec with
+        | Some m ->
+            typed_map := Some m;
+            parse rest
+        | None -> usage ())
+    | "--typed-source-root" :: dir :: rest ->
+        typed_source_root := Some dir;
+        parse rest
     | "--warn" :: rule :: rest ->
-        if Rules.find rule = None then begin
+        if not (known_rule rule) then begin
           Printf.eprintf "marlin_lint: unknown rule %S (see --list-rules)\n"
             rule;
           exit 2
         end;
         warn := rule :: !warn;
         parse rest
+    | "--time" :: rest ->
+        time := true;
+        parse rest
     | "--quiet" :: rest ->
         quiet := true;
         parse rest
     | "--list-rules" :: _ -> list_rules ()
-    | ("--json" | "--root" | "--warn") :: [] -> usage ()
+    | ( "--json" | "--format" | "--root" | "--typed" | "--typed-map"
+      | "--typed-source-root" | "--warn" )
+      :: [] ->
+        usage ()
     | arg :: _ when String.length arg > 1 && arg.[0] = '-' -> usage ()
     | path :: rest ->
         paths := path :: !paths;
@@ -62,15 +129,30 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   let paths = List.rev !paths in
-  if paths = [] then usage ();
+  let typed = List.rev !typed in
+  if paths = [] && typed = [] then usage ();
   List.iter
     (fun p ->
       if not (Sys.file_exists p) then begin
         Printf.eprintf "marlin_lint: no such path %S\n" p;
         exit 2
       end)
-    paths;
-  let result = Lint.run ~warn:!warn ?root:!root ~paths () in
+    (paths @ typed);
+  (* tools/ is outside the lint scan, so this is the one place ambient
+     timing is fine; the default null clock keeps reports byte-identical *)
+  let clock = if !time then fun () -> Sys.time () else fun () -> 0. in
+  let parse_report =
+    if paths = [] then Report.empty
+    else Lint.to_report (Lint.run ~clock ~warn:!warn ?root:!root ~paths ())
+  in
+  let typed_report =
+    if typed = [] then Report.empty
+    else
+      Typed.to_report
+        (Typed.run ~clock ~warn:!warn ?map:!typed_map
+           ?source_root:!typed_source_root ~paths:typed ())
+  in
+  let report = Report.merge parse_report typed_report in
   (* with --json - the JSON document owns stdout; the human report moves
      to stderr so the stream stays parseable *)
   let fmt =
@@ -78,19 +160,22 @@ let () =
     | Some "-" -> Format.err_formatter
     | Some _ | None -> Format.std_formatter
   in
-  if not !quiet then Format.fprintf fmt "%a" Lint.pp_human result
-  else
-    Format.fprintf fmt
-      "marlin_lint: %d file(s): %d error(s), %d warning(s), %d suppressed@."
-      result.Lint.files_scanned (Lint.errors result) (Lint.warnings result)
-      result.Lint.suppressed;
+  (if not !quiet then
+     match !format with
+     | `Text -> Format.fprintf fmt "%a" Report.pp_human report
+     | `Github -> Format.fprintf fmt "%a" Report.pp_github report
+   else
+     Format.fprintf fmt
+       "marlin_lint: %d file(s): %d error(s), %d warning(s), %d suppressed@."
+       report.Report.files_scanned (Report.errors report)
+       (Report.warnings report) report.Report.suppressed);
   (match !json with
-  | Some "-" -> print_endline (Lint.to_json result)
+  | Some "-" -> print_endline (Report.to_json report)
   | Some file ->
       let oc = open_out file in
-      output_string oc (Lint.to_json result);
+      output_string oc (Report.to_json report);
       output_char oc '\n';
       close_out oc;
       Printf.printf "json -> %s\n" file
   | None -> ());
-  exit (if Lint.errors result > 0 then 1 else 0)
+  exit (if Report.errors report > 0 then 1 else 0)
